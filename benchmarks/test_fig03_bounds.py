@@ -1,0 +1,21 @@
+"""Benchmark: regenerate paper Figure 3 (sequential vs perfect bounds)."""
+
+from conftest import run_once
+
+from repro.experiments import fig03_bounds
+
+
+def test_fig03_bounds(benchmark, bench_config):
+    result = run_once(benchmark, fig03_bounds.run, bench_config)
+    print("\n" + result.as_text())
+
+    rows = {(row[0], row[1]): row for row in result.rows}
+    # Perfect dominates sequential everywhere.
+    for row in result.rows:
+        assert row[2] <= row[3]
+    # The gap widens with issue rate (the paper's motivation), and the
+    # narrow PI4 machines need better fetch the least.
+    for class_name in ("int", "fp"):
+        gaps = [rows[(class_name, m)][4] for m in ("PI4", "PI8", "PI12")]
+        assert gaps[0] < gaps[-1]
+        assert gaps[0] == min(gaps)

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate paper Figure 9 (IPC of every fetch scheme)."""
+
+from conftest import run_once
+
+from repro.experiments import fig09_schemes
+
+
+def test_fig09_schemes(benchmark, bench_config):
+    result = run_once(benchmark, fig09_schemes.run, bench_config)
+    print("\n" + result.as_text())
+
+    # Columns: class, machine, seq, interleaved, banked, collapsing, perfect.
+    for row in result.rows:
+        seq, inter, banked, collapsing, perfect = row[2:]
+        tol = 1.03  # small stochastic slack
+        assert seq <= inter * tol
+        assert inter <= banked * tol
+        assert banked <= collapsing * tol
+        assert collapsing <= perfect * tol
+
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    # The collapsing buffer's edge over sequential grows with issue rate
+    # for integer code (paper Section 3.4).
+    small = by_key[("int", "PI4")]
+    large = by_key[("int", "PI12")]
+    assert large[5] / large[2] > small[5] / small[2]

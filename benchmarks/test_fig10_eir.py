@@ -1,0 +1,33 @@
+"""Benchmark: regenerate paper Figure 10 (EIR/EIR(perfect) ratios)."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_eir
+
+
+def test_fig10_eir(benchmark, bench_config):
+    result = run_once(benchmark, fig10_eir.run, bench_config)
+    print("\n" + result.as_text())
+
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    for row in result.rows:
+        seq, inter, banked, collapsing = row[3:]
+        # Alignment capability ordering.
+        assert seq <= inter + 2
+        assert inter <= collapsing + 2
+        assert banked <= collapsing + 2
+        assert 0 < collapsing <= 102
+
+    # Sequential decays sharply with issue rate; the collapsing buffer is
+    # the most consistent scheme (the paper's headline result).
+    for class_name in ("int", "fp"):
+        seq_drop = (
+            by_key[(class_name, "PI4")][3] - by_key[(class_name, "PI12")][3]
+        )
+        cb_drop = (
+            by_key[(class_name, "PI4")][6] - by_key[(class_name, "PI12")][6]
+        )
+        assert cb_drop < seq_drop
+    # CB stays high at the widest machine.
+    assert by_key[("int", "PI12")][6] > 70
+    assert by_key[("fp", "PI12")][6] > 70

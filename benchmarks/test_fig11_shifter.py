@@ -1,0 +1,19 @@
+"""Benchmark: regenerate paper Figure 11 (3-cycle-penalty collapsing buffer)."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_shifter
+
+
+def test_fig11_shifter(benchmark, bench_config):
+    result = run_once(benchmark, fig11_shifter.run, bench_config)
+    print("\n" + result.as_text())
+
+    # Columns: machine, seq, interleaved, banked, collapsing(p3), perfect.
+    for row in result.rows:
+        machine, seq, inter, banked, cb3, perfect = row
+        # The shifter penalty erases most of CB's edge over banked
+        # sequential: they end up within a few percent of each other
+        # (banked may even win, as the paper observes at PI4).
+        assert abs(cb3 - banked) / banked < 0.08
+        assert cb3 <= perfect * 1.02

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate paper Figure 12 (schemes after code reordering)."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_reordering
+
+
+def test_fig12_reordering(benchmark, bench_config):
+    result = run_once(benchmark, fig12_reordering.run, bench_config)
+    print("\n" + result.as_text())
+
+    # Columns: machine, seq(unord), seq(re), inter(re), banked(re),
+    # collapsing(re), perfect(re), perfect(unord).
+    for row in result.rows:
+        (machine, seq_u, seq_r, inter_r, banked_r, cb_r, perf_r,
+         perf_u) = row
+        # Reordering lifts sequential fetch.
+        assert seq_r > seq_u
+        # Reordered interleaved reaches the neighbourhood of
+        # perfect(unordered) — reordering substitutes for hardware.
+        assert inter_r > 0.90 * perf_u
+        # Reordered collapsing buffer approaches perfect(reordered).
+        assert cb_r > 0.92 * perf_r
+        # And reordering helps perfect too (fewer taken branches to track).
+        assert perf_r >= perf_u * 0.98

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate paper Figure 13 (pad-all / pad-trace IPC)."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_padding
+
+
+def test_fig13_padding(benchmark, bench_config):
+    result = run_once(benchmark, fig13_padding.run, bench_config)
+    print("\n" + result.as_text())
+
+    by_machine = {row[0]: row for row in result.rows}
+    for machine, row in by_machine.items():
+        _, seq_u, seq_pad_all, seq_re, seq_pad_trace, perf_u = row
+        # pad-trace stays at or above plain reordering territory.
+        assert seq_pad_trace > 0.95 * seq_re
+        # Everything stays below the perfect bound.
+        assert seq_pad_trace <= perf_u * 1.05
+
+    # pad-all's benefit (if any) erodes as block size grows: its relative
+    # performance versus unpadded sequential is worst on PI12 (the paper's
+    # "unjustified even for PI4" conclusion).
+    ratio4 = by_machine["PI4"][2] / by_machine["PI4"][1]
+    ratio12 = by_machine["PI12"][2] / by_machine["PI12"][1]
+    assert ratio12 < ratio4

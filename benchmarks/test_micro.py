@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the library's hot components.
+
+Unlike the per-figure regeneration benches (single-round), these time
+repeatable kernels and are meaningful as throughput numbers:
+instructions simulated per second, fetch-unit cycles per second, trace
+generation rate.
+"""
+
+import pytest
+
+from repro.fetch import create_fetch_unit
+from repro.machines import PI8
+from repro.sim import Simulator, measure_eir
+from repro.workloads import generate_trace, load_workload
+
+
+@pytest.fixture(scope="module")
+def espresso():
+    return load_workload("espresso")
+
+
+@pytest.fixture(scope="module")
+def espresso_trace(espresso):
+    return generate_trace(espresso.program, espresso.behavior, 8_000)
+
+
+def test_trace_generation_throughput(benchmark, espresso):
+    def gen():
+        return generate_trace(espresso.program, espresso.behavior, 8_000)
+
+    trace = benchmark(gen)
+    assert len(trace) == 8_000
+
+
+def test_fetch_unit_throughput(benchmark, espresso_trace):
+    def fetch_sweep():
+        unit = create_fetch_unit("collapsing_buffer", PI8, espresso_trace)
+        for block in range(0, 1200):
+            unit.cache.fill(block)
+        position = 0
+        total = len(espresso_trace.instructions)
+        while position < total:
+            result = unit.fetch_cycle(position, PI8.issue_rate)
+            if result.stall_cycles:
+                continue
+            for i in range(position, position + result.delivered):
+                instr = espresso_trace.instructions[i]
+                if instr.is_control:
+                    unit.train(
+                        instr,
+                        espresso_trace.is_taken(i),
+                        espresso_trace.next_address(i),
+                    )
+            position += result.delivered
+        return position
+
+    assert benchmark(fetch_sweep) == len(espresso_trace.instructions)
+
+
+def test_full_simulation_throughput(benchmark, espresso_trace):
+    def simulate():
+        return Simulator(PI8, espresso_trace, "banked_sequential").run()
+
+    stats = benchmark(simulate)
+    assert stats.retired == len(espresso_trace.instructions)
+
+
+def test_eir_measurement_throughput(benchmark, espresso_trace):
+    result = benchmark(measure_eir, espresso_trace, PI8, "sequential")
+    assert result.delivered > 0
+
+
+def test_workload_generation(benchmark):
+    from repro.workloads import generate_workload, get_profile
+
+    workload = benchmark(generate_workload, get_profile("sc"))
+    assert workload.program.num_instructions > 1000
+
+
+def test_reorder_pass(benchmark, espresso):
+    from repro.compiler import reorder_program
+
+    result = benchmark(
+        reorder_program, espresso.program, espresso.behavior, (1,), 20_000
+    )
+    assert result.program.num_instructions > 0

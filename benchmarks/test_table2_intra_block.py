@@ -1,0 +1,29 @@
+"""Benchmark: regenerate paper Table 2 (intra-block taken branches)."""
+
+from conftest import run_once
+
+from repro.experiments import table2_intra_block
+from repro.experiments.table2_intra_block import PAPER_TABLE2
+
+
+def test_table2_intra_block(benchmark, bench_config):
+    result = run_once(benchmark, table2_intra_block.run, bench_config)
+    print("\n" + result.as_text())
+
+    values = {row[1]: row[2:] for row in result.rows}
+    # Intra-block ratios grow with block size for every benchmark.
+    for bench, (small, medium, large) in values.items():
+        assert small <= medium + 5
+        assert medium <= large + 5
+    # Signature benchmarks land near the paper's values.
+    assert values["mdljdp2"][2] > 45  # paper: 66.1%
+    assert values["nasa7"][2] < 10  # paper: 0.08%
+    assert values["eqntott"][2] > 25  # paper: 41.4%
+    # Mean absolute error against the paper's legible cells stays bounded.
+    errors = []
+    for bench, paper in PAPER_TABLE2.items():
+        errors.extend(
+            abs(measured - expected)
+            for measured, expected in zip(values[bench], paper)
+        )
+    assert sum(errors) / len(errors) < 12.0

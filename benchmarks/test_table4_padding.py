@@ -1,0 +1,25 @@
+"""Benchmark: regenerate paper Table 4 (nop expansion of padding)."""
+
+from conftest import run_once
+
+from repro.experiments import table4_nop_padding
+
+
+def test_table4_padding(benchmark, bench_config):
+    result = run_once(benchmark, table4_nop_padding.run, bench_config)
+    print("\n" + result.as_text())
+
+    for row in result.rows:
+        bench = row[0]
+        pad_all_16, pad_trace_16 = row[1], row[2]
+        pad_all_32, pad_trace_32 = row[3], row[4]
+        pad_all_64, pad_trace_64 = row[5], row[6]
+        # pad-all in the paper's 16-40% band at 16B, exploding at 64B.
+        assert 10 < pad_all_16 < 60
+        assert 100 < pad_all_64 < 400
+        # pad-trace at least 4x cheaper at every block size.
+        assert pad_trace_16 < pad_all_16 / 4
+        assert pad_trace_32 < pad_all_32 / 4
+        assert pad_trace_64 < pad_all_64 / 4
+        # Both grow with block size.
+        assert pad_all_16 < pad_all_32 < pad_all_64

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compare alignment schemes across all three machine models.
+
+Reproduces the flavour of paper Figures 9/10 interactively: for a chosen
+benchmark it prints, per machine, the IPC of each scheme and its
+EIR/EIR(perfect) alignment efficiency, plus the alignment-hardware bill
+of materials from the paper's Figures 6 and 8.
+
+Usage::
+
+    python examples/fetch_scheme_comparison.py [benchmark]
+"""
+
+import sys
+
+from repro import MACHINES, load_workload, measure_eir, run_workload
+from repro.fetch import HARDWARE_SCHEMES, scheme_hardware_inventory
+from repro.workloads import generate_trace
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "espresso"
+    workload = load_workload(benchmark)
+    print(f"benchmark: {benchmark} ({workload.workload_class}), "
+          f"{workload.program.num_instructions} static instructions\n")
+
+    for machine in MACHINES:
+        trace = generate_trace(workload.program, workload.behavior, 30_000)
+        perfect_eir = measure_eir(trace, machine, "perfect").eir
+        print(
+            f"{machine.name}: issue {machine.issue_rate}, "
+            f"{machine.icache_block_bytes}B blocks, "
+            f"EIR(perfect) = {perfect_eir:.2f}"
+        )
+        for scheme in HARDWARE_SCHEMES:
+            ipc = run_workload(benchmark, machine, scheme).ipc
+            eir = measure_eir(trace, machine, scheme).eir
+            print(
+                f"  {scheme:24s} IPC {ipc:5.2f}   "
+                f"EIR {eir:5.2f}  ({100 * eir / perfect_eir:5.1f}% of perfect)"
+            )
+        print()
+
+    print("Alignment hardware (paper Figures 6 and 8), PI8 block size:")
+    k = 8
+    for scheme in (*HARDWARE_SCHEMES, "collapsing_buffer_shifter"):
+        parts = scheme_hardware_inventory(scheme, k)
+        if not parts:
+            detail = "masking logic only"
+        else:
+            detail = "; ".join(
+                f"{c.component}"
+                + (f" ({c.transmission_gates} pass gates)" if c.transmission_gates else "")
+                + (f" ({c.latches} latches)" if c.latches else "")
+                for c in parts
+            )
+        print(f"  {scheme:28s} {detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one benchmark on one machine with every scheme.
+
+Runs the `compress` benchmark on the 8-issue PI8 machine with all five
+fetch schemes and prints IPC, EIR and supporting statistics — a five-line
+tour of the library's public API.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [machine]
+"""
+
+import sys
+
+from repro import ALL_SCHEMES, get_machine, run_workload
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    machine = get_machine(sys.argv[2] if len(sys.argv) > 2 else "PI8")
+
+    print(f"benchmark={benchmark}  machine={machine.name} "
+          f"(issue {machine.issue_rate}, {machine.icache_block_bytes}B blocks)\n")
+    header = (
+        f"{'scheme':24s} {'IPC':>6s} {'EIR':>6s} {'misp/1k':>8s} "
+        f"{'I$ miss%':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for scheme in ALL_SCHEMES:
+        stats = run_workload(benchmark, machine, scheme)
+        mispredicts = 1000 * stats.fetch_mispredicts / max(stats.retired, 1)
+        print(
+            f"{scheme:24s} {stats.ipc:6.2f} {stats.eir:6.2f} "
+            f"{mispredicts:8.1f} {100 * stats.icache_miss_ratio:9.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The pyproject.toml carries all metadata; this file exists so ``pip install
+-e .`` works on environments whose setuptools lacks PEP 660 editable-wheel
+support (e.g. offline boxes without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — reproduction of Conte, Menezes, Mills & Patel (ISCA 1995),
+"Optimization of Instruction Fetch Mechanisms for High Issue Rates".
+
+Quick start::
+
+    from repro import PI8, load_workload, run_workload
+
+    stats = run_workload("compress", PI8, "collapsing_buffer")
+    print(stats.ipc, stats.eir)
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.isa` / :mod:`repro.program` — instruction set and CFG model
+* :mod:`repro.workloads` — synthetic SPEC92-style benchmark suite
+* :mod:`repro.memory` / :mod:`repro.branch` — I-cache and interleaved BTB
+* :mod:`repro.fetch` — the paper's fetch/alignment schemes
+* :mod:`repro.core` — Tomasulo out-of-order execution core
+* :mod:`repro.compiler` — trace selection/layout, nop padding, scheduler
+* :mod:`repro.machines` / :mod:`repro.sim` — PI4/PI8/PI12 and the driver
+* :mod:`repro.experiments` — every table and figure of the paper
+"""
+
+from repro.compiler import pad_all, pad_trace, reorder_program
+from repro.fetch import (
+    ALL_SCHEMES,
+    HARDWARE_SCHEMES,
+    create_fetch_unit,
+)
+from repro.machines import MACHINES, PI4, PI8, PI12, MachineConfig, get_machine
+from repro.sim import (
+    SimStats,
+    Simulator,
+    measure_eir,
+    run_program,
+    run_trace,
+    run_workload,
+)
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INTEGER_BENCHMARKS,
+    Workload,
+    generate_trace,
+    load_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "ALL_SCHEMES",
+    "FP_BENCHMARKS",
+    "HARDWARE_SCHEMES",
+    "INTEGER_BENCHMARKS",
+    "MACHINES",
+    "MachineConfig",
+    "PI4",
+    "PI8",
+    "PI12",
+    "SimStats",
+    "Simulator",
+    "Workload",
+    "create_fetch_unit",
+    "generate_trace",
+    "get_machine",
+    "load_workload",
+    "measure_eir",
+    "pad_all",
+    "pad_trace",
+    "reorder_program",
+    "run_program",
+    "run_trace",
+    "run_workload",
+    "__version__",
+]

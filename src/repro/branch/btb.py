@@ -1,0 +1,164 @@
+"""The interleaved branch target buffer (paper Figure 5).
+
+A 1024-entry, direct-mapped BTB with a 2-bit counter and a cached target
+address per entry.  The buffer is interleaved into as many banks as there
+are instructions in a cache block, so one access yields a prediction for
+*every* slot of a fetch block simultaneously.  From these per-slot
+predictions a chain of comparators derives (a) the bit-pattern of valid
+instructions in the block and (b) the successor block address — exactly
+the query the interleaved/banked/collapsing fetch schemes need.
+
+Entry allocation happens when a branch resolves taken (or an allocated
+entry's branch resolves again); unconditional transfers are flagged so a
+hit always predicts taken regardless of the counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.branch.counters import TwoBitCounter
+
+
+@dataclass(slots=True)
+class BTBEntry:
+    """One BTB entry: tag, cached target, 2-bit counter, type flags."""
+
+    tag: int = -1
+    target: int = -1
+    counter: TwoBitCounter = field(default_factory=TwoBitCounter)
+    is_unconditional: bool = False
+    is_call: bool = False
+    is_return: bool = False
+
+    @property
+    def valid(self) -> bool:
+        return self.tag >= 0
+
+
+@dataclass(slots=True)
+class BTBPrediction:
+    """Prediction for a single instruction address.
+
+    Attributes:
+        hit: Entry present for this address.
+        taken: Predicted taken (False on miss: fall through).
+        target: Cached target address (-1 on miss).
+        is_conditional: Entry records a conditional branch.
+        is_call / is_return: Entry records a call / return (used by the
+            optional return-address-stack extension).
+    """
+
+    hit: bool
+    taken: bool
+    target: int
+    is_conditional: bool = False
+    is_call: bool = False
+    is_return: bool = False
+
+
+@dataclass(slots=True)
+class BTBStats:
+    """Lookup/update counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    updates: int = 0
+    allocations: int = 0
+
+
+class BranchTargetBuffer:
+    """Direct-mapped, bank-interleaved BTB with 2-bit counters."""
+
+    def __init__(self, num_entries: int = 1024, interleave: int = 4) -> None:
+        if num_entries <= 0 or interleave <= 0:
+            raise ValueError("num_entries and interleave must be positive")
+        if num_entries % interleave:
+            raise ValueError("num_entries must be a multiple of the interleave")
+        self.num_entries = num_entries
+        self.interleave = interleave
+        self.entries_per_bank = num_entries // interleave
+        self._banks: list[list[BTBEntry]] = [
+            [BTBEntry() for _ in range(self.entries_per_bank)]
+            for _ in range(interleave)
+        ]
+        self.stats = BTBStats()
+
+    # -- address mapping -----------------------------------------------------
+
+    def _locate(self, address: int) -> BTBEntry:
+        """Entry slot for *address*: bank = slot within block, direct-mapped
+        within the bank."""
+        bank = address % self.interleave
+        index = (address // self.interleave) % self.entries_per_bank
+        return self._banks[bank][index]
+
+    # -- prediction ------------------------------------------------------------
+
+    def predict(self, address: int) -> BTBPrediction:
+        """Predict the instruction at *address* (one bank lookup)."""
+        self.stats.lookups += 1
+        entry = self._locate(address)
+        if not entry.valid or entry.tag != address:
+            return BTBPrediction(hit=False, taken=False, target=-1)
+        self.stats.hits += 1
+        taken = entry.is_unconditional or entry.counter.predict_taken()
+        return BTBPrediction(
+            hit=True,
+            taken=taken,
+            target=entry.target,
+            is_conditional=not entry.is_unconditional,
+            is_call=entry.is_call,
+            is_return=entry.is_return,
+        )
+
+    def predict_block(self, block_start: int) -> list[BTBPrediction]:
+        """Predict every slot of the cache block starting at *block_start*.
+
+        Models the single interleaved access of Figure 5: all banks are
+        read in parallel, one slot each.
+        """
+        return [self.predict(block_start + slot) for slot in range(self.interleave)]
+
+    # -- training ---------------------------------------------------------------
+
+    def update(
+        self,
+        address: int,
+        taken: bool,
+        target: int,
+        is_unconditional: bool = False,
+        is_call: bool = False,
+        is_return: bool = False,
+    ) -> None:
+        """Train the BTB with a resolved branch.
+
+        Entries are allocated on taken branches; a not-taken branch only
+        trains an already-present entry (standard BTB fill policy).
+        """
+        self.stats.updates += 1
+        entry = self._locate(address)
+        if entry.valid and entry.tag == address:
+            entry.counter.update(taken)
+            if taken:
+                entry.target = target
+            entry.is_unconditional = is_unconditional
+            entry.is_call = is_call
+            entry.is_return = is_return
+            return
+        if taken:
+            # Allocate (direct-mapped: unconditionally replace).
+            entry.tag = address
+            entry.target = target
+            entry.counter = TwoBitCounter()
+            entry.counter.update(True)
+            entry.is_unconditional = is_unconditional
+            entry.is_call = is_call
+            entry.is_return = is_return
+            self.stats.allocations += 1
+
+    def flush(self) -> None:
+        """Invalidate all entries (statistics preserved)."""
+        for bank in self._banks:
+            for i in range(len(bank)):
+                bank[i] = BTBEntry()

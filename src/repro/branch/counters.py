@@ -1,0 +1,39 @@
+"""Two-bit saturating counters (paper Table 1: "2-bit counter" BTB)."""
+
+from __future__ import annotations
+
+STRONG_NOT_TAKEN = 0
+WEAK_NOT_TAKEN = 1
+WEAK_TAKEN = 2
+STRONG_TAKEN = 3
+
+
+class TwoBitCounter:
+    """A 2-bit saturating up/down counter.
+
+    States 0-3; values >= 2 predict taken.  Increment on taken outcomes,
+    decrement on not-taken outcomes, saturating at both ends.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, state: int = WEAK_TAKEN) -> None:
+        if not STRONG_NOT_TAKEN <= state <= STRONG_TAKEN:
+            raise ValueError(f"counter state out of range: {state}")
+        self.state = state
+
+    def predict_taken(self) -> bool:
+        """Current prediction."""
+        return self.state >= WEAK_TAKEN
+
+    def update(self, taken: bool) -> None:
+        """Train on one resolved outcome."""
+        if taken:
+            if self.state < STRONG_TAKEN:
+                self.state += 1
+        elif self.state > STRONG_NOT_TAKEN:
+            self.state -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ("SN", "WN", "WT", "ST")
+        return f"<2bit {names[self.state]}>"

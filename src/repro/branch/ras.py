@@ -1,0 +1,52 @@
+"""Return address stack (RAS).
+
+The paper's BTB caches a single target per entry, so returns from
+functions with several call sites mispredict whenever the site changes.
+A small return stack — standard a few years after the paper — fixes
+this; it is provided as an *extension* for the predictor ablations (the
+baseline machine models do not use it).
+
+The stack is speculative and unrepaired: pushes happen at predicted
+calls, pops at predicted returns, so wrong-path work can skew it (here
+fetch stops at mispredictions, so only depth overflow perturbs it).
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address stack."""
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of a predicted call."""
+        self.pushes += 1
+        if len(self._stack) >= self.depth:
+            # Circular behaviour: the oldest entry is lost.
+            self._stack.pop(0)
+            self.overflows += 1
+        self._stack.append(return_address)
+
+    def pop(self) -> int:
+        """Predicted target of a return (-1 when empty)."""
+        self.pops += 1
+        if not self._stack:
+            return -1
+        return self._stack.pop()
+
+    def top(self) -> int:
+        return self._stack[-1] if self._stack else -1
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def clear(self) -> None:
+        self._stack.clear()

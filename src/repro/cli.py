@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — benchmarks, machine models, fetch schemes.
+* ``simulate BENCH MACHINE SCHEME`` — one full IPC simulation.
+* ``eir BENCH MACHINE`` — fetch-only alignment efficiency of all schemes.
+* ``characterize [BENCH ...]`` — workload characterisation table.
+* ``experiment NAME [NAME ...]`` — regenerate paper tables/figures.
+* ``ablation NAME [NAME ...]`` — run the beyond-paper ablation studies.
+* ``report`` — every paper artifact, in order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.report import EXPERIMENTS, run_experiments
+from repro.fetch.factory import ALL_SCHEMES, HARDWARE_SCHEMES
+from repro.machines.presets import MACHINES, get_machine
+from repro.sim.eir import measure_eir
+from repro.sim.runner import run_workload
+from repro.workloads.analysis import characterization_table
+from repro.workloads.profiles import ALL_BENCHMARKS
+from repro.workloads.suite import load_workload
+from repro.workloads.trace import generate_trace
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("benchmarks:")
+    for name in ALL_BENCHMARKS:
+        print(f"  {name} ({load_workload(name).workload_class})")
+    print("\nmachines:")
+    for machine in MACHINES:
+        print(
+            f"  {machine.name}: issue {machine.issue_rate}, "
+            f"window {machine.window_size}, "
+            f"{machine.icache_bytes // 1024}KB I-cache / "
+            f"{machine.icache_block_bytes}B blocks"
+        )
+    print("\nfetch schemes:")
+    for scheme in ALL_SCHEMES:
+        marker = "" if scheme in HARDWARE_SCHEMES + ("perfect",) else "  [extension]"
+        print(f"  {scheme}{marker}")
+    print("\nexperiments:", ", ".join(EXPERIMENTS))
+    print("ablations:", ", ".join(ABLATIONS))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    stats = run_workload(
+        args.benchmark,
+        get_machine(args.machine),
+        args.scheme,
+        max_instructions=args.length,
+        seed=args.seed,
+    )
+    for key, value in stats.as_dict().items():
+        print(f"{key:20s} {value}")
+    return 0
+
+
+def _cmd_eir(args: argparse.Namespace) -> int:
+    workload = load_workload(args.benchmark)
+    machine = get_machine(args.machine)
+    trace = generate_trace(
+        workload.program, workload.behavior, args.length, seed=args.seed
+    )
+    perfect = measure_eir(trace, machine, "perfect").eir
+    print(f"{args.benchmark} on {machine.name}: EIR(perfect) = {perfect:.2f}")
+    for scheme in HARDWARE_SCHEMES:
+        eir = measure_eir(trace, machine, scheme).eir
+        print(f"  {scheme:24s} {eir:5.2f}  ({100 * eir / perfect:5.1f}%)")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    names = args.benchmarks or list(ALL_BENCHMARKS)
+    workloads = [load_workload(name) for name in names]
+    print(characterization_table(workloads, trace_length=args.length))
+    return 0
+
+
+def _config_for(args: argparse.Namespace) -> ExperimentConfig:
+    scale = getattr(args, "scale", 1.0)
+    if scale == 1.0:
+        return DEFAULT_CONFIG
+    return ExperimentConfig(
+        trace_length=max(2000, int(DEFAULT_CONFIG.trace_length * scale)),
+        eir_length=max(2000, int(DEFAULT_CONFIG.eir_length * scale)),
+        stats_length=max(4000, int(DEFAULT_CONFIG.stats_length * scale)),
+        warmup=max(500, int(DEFAULT_CONFIG.warmup * scale)),
+    )
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    for result in run_experiments(args.names, _config_for(args)):
+        print(result.to_json() if args.json else result.as_text())
+        if not args.json:
+            print("=" * 72)
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    names = list(ABLATIONS) if args.names == ["all"] else args.names
+    for name in names:
+        if name not in ABLATIONS:
+            known = ", ".join(ABLATIONS)
+            print(f"unknown ablation {name!r}; known: {known}", file=sys.stderr)
+            return 2
+    config = _config_for(args)
+    for name in names:
+        result = ABLATIONS[name](config)
+        print(result.to_json() if args.json else result.as_text())
+        if not args.json:
+            print("=" * 72)
+    return 0
+
+
+def _cmd_pipetrace(args: argparse.Namespace) -> int:
+    from repro.sim.pipetrace import trace_pipeline
+
+    workload = load_workload(args.benchmark)
+    trace = generate_trace(
+        workload.program, workload.behavior, args.length, seed=args.seed
+    )
+    log = trace_pipeline(
+        get_machine(args.machine), trace, args.scheme, max_cycles=args.cycles
+    )
+    print(log.render(limit=args.cycles))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    for result in run_experiments(config=_config_for(args)):
+        print(result.as_text())
+        print("=" * 72)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Conte et al., 'Optimization of Instruction "
+            "Fetch Mechanisms for High Issue Rates' (ISCA 1995)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, machines, schemes").set_defaults(
+        func=_cmd_list
+    )
+
+    simulate = sub.add_parser("simulate", help="run one IPC simulation")
+    simulate.add_argument("benchmark")
+    simulate.add_argument("machine")
+    simulate.add_argument("scheme")
+    simulate.add_argument("--length", type=int, default=20_000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    eir = sub.add_parser("eir", help="fetch-only alignment efficiency")
+    eir.add_argument("benchmark")
+    eir.add_argument("machine")
+    eir.add_argument("--length", type=int, default=30_000)
+    eir.add_argument("--seed", type=int, default=0)
+    eir.set_defaults(func=_cmd_eir)
+
+    characterize = sub.add_parser(
+        "characterize", help="workload characterisation table"
+    )
+    characterize.add_argument("benchmarks", nargs="*")
+    characterize.add_argument("--length", type=int, default=40_000)
+    characterize.set_defaults(func=_cmd_characterize)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate paper tables/figures"
+    )
+    experiment.add_argument("names", nargs="+", choices=list(EXPERIMENTS))
+    experiment.add_argument("--json", action="store_true")
+    experiment.add_argument("--scale", type=float, default=1.0)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    ablation = sub.add_parser("ablation", help="run ablation studies")
+    ablation.add_argument("names", nargs="+", help="ablation names, or 'all'")
+    ablation.add_argument("--json", action="store_true")
+    ablation.add_argument("--scale", type=float, default=1.0)
+    ablation.set_defaults(func=_cmd_ablation)
+
+    pipetrace = sub.add_parser(
+        "pipetrace", help="cycle-by-cycle pipeline trace"
+    )
+    pipetrace.add_argument("benchmark")
+    pipetrace.add_argument("machine")
+    pipetrace.add_argument("scheme")
+    pipetrace.add_argument("--cycles", type=int, default=40)
+    pipetrace.add_argument("--length", type=int, default=4000)
+    pipetrace.add_argument("--seed", type=int, default=0)
+    pipetrace.set_defaults(func=_cmd_pipetrace)
+
+    report = sub.add_parser("report", help="all paper artifacts")
+    report.add_argument("--scale", type=float, default=1.0)
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

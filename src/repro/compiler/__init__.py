@@ -1,0 +1,25 @@
+"""Profile-driven compiler optimizations (paper Section 4)."""
+
+from repro.compiler.layout_opt import ReorderResult, apply_layout, reorder_program
+from repro.compiler.padding import PaddingResult, pad_all, pad_trace
+from repro.compiler.profile import EdgeProfile, collect_profile
+from repro.compiler.scheduler import schedule_block_body, schedule_program
+from repro.compiler.superblock import SuperblockResult, form_superblocks
+from repro.compiler.trace_selection import TraceSet, select_traces
+
+__all__ = [
+    "EdgeProfile",
+    "PaddingResult",
+    "ReorderResult",
+    "TraceSet",
+    "apply_layout",
+    "collect_profile",
+    "pad_all",
+    "pad_trace",
+    "reorder_program",
+    "SuperblockResult",
+    "form_superblocks",
+    "schedule_block_body",
+    "schedule_program",
+    "select_traces",
+]

@@ -1,0 +1,104 @@
+"""Edge profiling for profile-driven code reordering.
+
+The paper generates profile statistics from five training inputs per
+benchmark and holds out a sixth input for the processor simulations
+(Section 4).  Here each profiling input is a behaviour-model seed; the
+profiler walks the CFG at basic-block granularity (far cheaper than full
+instruction traces) counting block executions and *layout successor*
+transitions — the edges trace selection cares about:
+
+* COND: taken / fall-through edge per the behaviour model;
+* JUMP / FALLTHROUGH: the single static successor;
+* CALL: the edge goes to the *return continuation* (the callee lives in
+  another function and is laid out separately);
+* RET: no layout edge (the successor is call-site dependent).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.program.basic_block import TermKind
+from repro.program.program import Program
+from repro.workloads.behavior import BehaviorModel
+from repro.workloads.trace import PROFILING_SEEDS
+
+
+@dataclass(slots=True)
+class EdgeProfile:
+    """Execution counts gathered over the profiling inputs."""
+
+    block_counts: Counter = field(default_factory=Counter)
+    edge_counts: Counter = field(default_factory=Counter)
+
+    def successors_by_weight(self, block_id: int) -> list[tuple[int, int]]:
+        """(successor, count) pairs of *block_id*, heaviest first."""
+        out = [
+            (dst, count)
+            for (src, dst), count in self.edge_counts.items()
+            if src == block_id
+        ]
+        out.sort(key=lambda pair: -pair[1])
+        return out
+
+    def hottest_successor(self, block_id: int) -> int:
+        """Most frequent layout successor of *block_id* (-1 if none)."""
+        best, best_count = -1, 0
+        for (src, dst), count in self.edge_counts.items():
+            if src == block_id and count > best_count:
+                best, best_count = dst, count
+        return best
+
+    def hottest_predecessor(self, block_id: int) -> int:
+        """Most frequent layout predecessor of *block_id* (-1 if none)."""
+        best, best_count = -1, 0
+        for (src, dst), count in self.edge_counts.items():
+            if dst == block_id and count > best_count:
+                best, best_count = src, count
+        return best
+
+
+def collect_profile(
+    program: Program,
+    behavior: BehaviorModel,
+    seeds: tuple[int, ...] = PROFILING_SEEDS,
+    max_transitions: int = 60_000,
+) -> EdgeProfile:
+    """Profile *program* over the given behaviour seeds.
+
+    Each seed contributes up to *max_transitions* block transitions
+    (restarting the program when it halts), mirroring the paper's
+    multiple-training-input methodology.
+    """
+    profile = EdgeProfile()
+    cfg = program.cfg
+    for seed in seeds:
+        rng = random.Random(seed)
+        behavior.reset()
+        call_stack: list[int] = []
+        current = cfg.entry_block_id
+        for _ in range(max_transitions):
+            block = cfg.block(current)
+            profile.block_counts[current] += 1
+            kind = block.term_kind
+            if kind is TermKind.FALLTHROUGH:
+                nxt = block.fall_id
+                profile.edge_counts[(current, nxt)] += 1
+            elif kind is TermKind.COND:
+                nxt = behavior.decide_successor(block, rng)
+                profile.edge_counts[(current, nxt)] += 1
+            elif kind is TermKind.JUMP:
+                nxt = block.taken_id
+                profile.edge_counts[(current, nxt)] += 1
+            elif kind is TermKind.CALL:
+                # Layout edge to the return continuation; execution enters
+                # the callee.
+                profile.edge_counts[(current, block.fall_id)] += 1
+                call_stack.append(block.fall_id)
+                nxt = block.taken_id
+            else:  # RET
+                nxt = call_stack.pop() if call_stack else cfg.entry_block_id
+            current = nxt
+    return profile

@@ -1,0 +1,100 @@
+"""DAG-based local instruction scheduler.
+
+The paper compiles with ``gcc -O -fschedule-insns``, a DAG-based local
+scheduler, noting it "marginally enhances parallelism".  This pass is the
+equivalent: within each basic block, instructions are list-scheduled by
+earliest ready time under true (RAW), output (WAW), and anti (WAR)
+register dependences, with memory operations kept in their original
+relative order (no alias analysis).  Control flow and block contents are
+otherwise untouched, so traces and behaviour models remain valid.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NO_REG
+from repro.program.basic_block import BasicBlock
+from repro.program.program import Program, clone_cfg
+
+_MEMORY_OPS = (OpClass.LOAD, OpClass.STORE)
+
+
+def schedule_block_body(body: list[Instruction]) -> list[Instruction]:
+    """Return a list-scheduled permutation of *body*.
+
+    Dependences honoured: RAW, WAW, WAR on registers, plus program order
+    among memory operations.  Ready instructions are issued greedily by
+    (ready time, original index), which keeps the schedule stable and
+    deterministic.
+    """
+    n = len(body)
+    if n <= 2:
+        return list(body)
+
+    successors: list[list[int]] = [[] for _ in range(n)]
+    pending: list[int] = [0] * n
+    ready_time: list[int] = [0] * n
+
+    last_writer: dict[int, int] = {}
+    readers: dict[int, list[int]] = {}
+    last_memory = -1
+
+    def add_edge(src: int, dst: int) -> None:
+        successors[src].append(dst)
+        pending[dst] += 1
+
+    for i, instr in enumerate(body):
+        for reg in instr.sources():
+            if reg in last_writer:
+                add_edge(last_writer[reg], i)  # RAW
+        if instr.dest != NO_REG:
+            if instr.dest in last_writer:
+                add_edge(last_writer[instr.dest], i)  # WAW
+            for reader in readers.get(instr.dest, ()):
+                if reader != i:
+                    add_edge(reader, i)  # WAR
+            last_writer[instr.dest] = i
+            readers[instr.dest] = []
+        for reg in instr.sources():
+            readers.setdefault(reg, []).append(i)
+        if instr.op in _MEMORY_OPS:
+            if last_memory >= 0:
+                add_edge(last_memory, i)
+            last_memory = i
+
+    scheduled: list[Instruction] = []
+    ready = [i for i in range(n) if pending[i] == 0]
+    clock = 0
+    while ready:
+        ready.sort(key=lambda i: (ready_time[i], i))
+        index = ready.pop(0)
+        clock = max(clock, ready_time[index])
+        scheduled.append(body[index])
+        finish = clock + body[index].latency
+        for succ in successors[index]:
+            pending[succ] -= 1
+            ready_time[succ] = max(ready_time[succ], finish)
+            if pending[succ] == 0:
+                ready.append(succ)
+        clock += 1
+
+    if len(scheduled) != n:  # pragma: no cover - defensive
+        raise AssertionError("scheduler dropped instructions (cyclic deps?)")
+    return scheduled
+
+
+def schedule_program(program: Program) -> Program:
+    """Apply the local scheduler to every block of *program*.
+
+    Returns a new program with the same layout but scheduled block bodies.
+    """
+    cfg = clone_cfg(program.cfg)
+    for block in cfg.blocks:
+        block.body = schedule_block_body(block.body)
+    return Program.from_order(
+        cfg,
+        list(program.block_order),
+        base_address=program.base_address,
+        name=program.name,
+    )

@@ -1,0 +1,153 @@
+"""Fisher-style trace selection (paper Section 4, refs [7], [17]).
+
+Traces are grown greedily around *seed* blocks in order of decreasing
+execution count, following the mutual-most-likely heuristic: block B is
+appended after A only when B is A's most frequent successor *and* A is
+B's most frequent predecessor.  Growth also proceeds backwards from the
+seed.  Traces never cross function boundaries, and every block ends up in
+exactly one trace (cold blocks form singleton traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.profile import EdgeProfile
+from repro.program.cfg import ControlFlowGraph
+
+
+@dataclass(slots=True)
+class TraceSet:
+    """The selected traces, in final layout order.
+
+    ``traces`` lists block ids trace by trace; concatenated they are a
+    permutation of all blocks.  Function blocks stay contiguous.
+    ``heats`` holds each trace's peak block-execution count, used by
+    pad-trace to pad only traces that actually run.
+    """
+
+    traces: list[list[int]] = field(default_factory=list)
+    heats: list[int] = field(default_factory=list)
+
+    def layout_order(self) -> list[int]:
+        return [block_id for trace in self.traces for block_id in trace]
+
+
+def select_traces(cfg: ControlFlowGraph, profile: EdgeProfile) -> TraceSet:
+    """Grow traces over *cfg* using *profile* (mutual-most-likely)."""
+    # Precompute hottest successor/predecessor maps once, plus totals for
+    # the profit guard.
+    best_succ: dict[int, tuple[int, int]] = {}
+    best_pred: dict[int, tuple[int, int]] = {}
+    out_total: dict[int, int] = {}
+    in_edges: dict[int, list[tuple[int, int]]] = {}
+    for (src, dst), count in profile.edge_counts.items():
+        if count > best_succ.get(src, (-1, 0))[1]:
+            best_succ[src] = (dst, count)
+        if count > best_pred.get(dst, (-1, 0))[1]:
+            best_pred[dst] = (src, count)
+        out_total[src] = out_total.get(src, 0) + count
+        in_edges.setdefault(dst, []).append((count, src))
+
+    def _profitable(src: int, dst: int, count: int) -> bool:
+        """Is placing *dst* right after *src* a net win in taken branches?
+
+        Placing dst after src turns the src->dst edge into a fall-through
+        but (a) forces src's other out-edge to stay taken and (b) denies
+        dst's other predecessors the adjacency, costing a jump on the
+        hottest of them.  E.g. a hammock skip-branch with taken
+        probability p profits only when p > 2/3 — below that, keeping the
+        then-part in place is cheaper.
+        """
+        other_out = out_total.get(src, 0) - count
+        other_in = max(
+            (c for c, pred in in_edges.get(dst, ()) if pred != src),
+            default=0,
+        )
+        return count >= other_out + other_in
+
+    visited: set[int] = set()
+    traces_by_func: dict[int, list[tuple[int, list[int]]]] = {}
+
+    seeds = sorted(
+        (block.block_id for block in cfg.blocks),
+        key=lambda bid: (-profile.block_counts.get(bid, 0), bid),
+    )
+    for seed in seeds:
+        if seed in visited:
+            continue
+        func_id = cfg.block(seed).func_id
+        trace = [seed]
+        visited.add(seed)
+
+        # Grow forward.
+        current = seed
+        while True:
+            succ, count = best_succ.get(current, (-1, 0))
+            if (
+                succ < 0
+                or succ in visited
+                or cfg.block(succ).func_id != func_id
+                or best_pred.get(succ, (-1, 0))[0] != current
+                or not _profitable(current, succ, count)
+            ):
+                break
+            trace.append(succ)
+            visited.add(succ)
+            current = succ
+
+        # Grow backward.
+        current = seed
+        while True:
+            pred, count = best_pred.get(current, (-1, 0))
+            if (
+                pred < 0
+                or pred in visited
+                or cfg.block(pred).func_id != func_id
+                or best_succ.get(pred, (-1, 0))[0] != current
+                or not _profitable(pred, current, count)
+            ):
+                break
+            trace.insert(0, pred)
+            visited.add(pred)
+            current = pred
+
+        heat = profile.block_counts.get(seed, 0)
+        traces_by_func.setdefault(func_id, []).append((heat, trace))
+
+    # Keep functions in their original order.  Within a function, chain
+    # traces greedily: after placing a trace, prefer the unplaced trace
+    # headed by the hottest successor (any out-edge) of the placed
+    # trace's tail, so hot inter-trace transitions — loop exits, merge
+    # continuations — become fall-throughs (Pettis-Hansen-style
+    # chaining); start from the hottest trace.
+    successors: dict[int, list[tuple[int, int]]] = {}
+    for (src, dst), count in profile.edge_counts.items():
+        successors.setdefault(src, []).append((count, dst))
+    for edges in successors.values():
+        edges.sort(reverse=True)
+
+    result = TraceSet()
+    for func in cfg.functions:
+        entries = traces_by_func.get(func.func_id, [])
+        if not entries:
+            continue
+        unplaced: dict[int, tuple[int, list[int]]] = {
+            trace[0]: (heat, trace) for heat, trace in entries
+        }
+        current: list[int] | None = None
+        while unplaced:
+            chosen_head = -1
+            if current is not None:
+                for _, succ in successors.get(current[-1], ()):
+                    if succ in unplaced:
+                        chosen_head = succ
+                        break
+            if chosen_head < 0:
+                chosen_head = max(
+                    unplaced, key=lambda head: (unplaced[head][0], -head)
+                )
+            heat, current = unplaced.pop(chosen_head)
+            result.traces.append(current)
+            result.heats.append(heat)
+    return result

@@ -1,0 +1,23 @@
+"""The out-of-order execution core: window, ROB, units, register files."""
+
+from repro.core.pipeline import CoreStats, ExecutionCore
+from repro.core.regfiles import READY, FutureFile, MessyTagFile
+from repro.core.rob import EntryState, ReorderBuffer, ROBEntry
+from repro.core.units import FunctionalUnits, ResultBuses, UnitStats
+from repro.core.window import SchedulingWindow, WindowEntry
+
+__all__ = [
+    "CoreStats",
+    "EntryState",
+    "ExecutionCore",
+    "FunctionalUnits",
+    "FutureFile",
+    "MessyTagFile",
+    "READY",
+    "ReorderBuffer",
+    "ROBEntry",
+    "ResultBuses",
+    "SchedulingWindow",
+    "UnitStats",
+    "WindowEntry",
+]

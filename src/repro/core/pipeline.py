@@ -1,0 +1,183 @@
+"""The out-of-order execution core (paper Figure 1).
+
+Full-Tomasulo engine: fetch delivers into the scheduling window (via the
+simulator), independent instructions fire to functional units, results
+return over the result buses, and the reorder buffer retires in order.
+The core never sees wrong-path instructions — in the trace-driven harness
+fetch stops at a mispredicted branch — so recovery is purely a fetch-side
+stall until the flagged branch resolves here.
+
+Per-cycle phase order (driven by the simulator, reverse pipeline order to
+avoid same-cycle races): retire -> writeback -> fire -> dispatch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.regfiles import FutureFile
+from repro.core.rob import EntryState, ReorderBuffer, ROBEntry
+from repro.core.units import FunctionalUnits, ResultBuses
+from repro.core.window import SchedulingWindow
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.machines.config import MachineConfig
+
+
+@dataclass(slots=True)
+class CoreStats:
+    """Aggregate execution-core statistics."""
+
+    retired: int = 0
+    dispatched: int = 0
+    window_full_stalls: int = 0
+    speculation_stalls: int = 0
+
+
+class ExecutionCore:
+    """Tomasulo out-of-order core with a reorder buffer."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.window = SchedulingWindow(config.window_size)
+        self.rob = ReorderBuffer(config.rob_size)
+        self.units = FunctionalUnits(config)
+        self.buses = ResultBuses(config.num_result_buses)
+        self.future_file = FutureFile()
+        self.stats = CoreStats()
+        #: min-heap of (result_cycle, seq, entry) awaiting writeback.
+        self._inflight: list[tuple[int, int, ROBEntry]] = []
+        #: unresolved conditional branches in flight (speculation depth).
+        self.unresolved_branches = 0
+        self._next_seq = 0
+        #: last store still in flight (memory_ordering="conservative").
+        self._pending_store_seq = -1
+
+    # -- dispatch ------------------------------------------------------------
+
+    def can_dispatch(self, instruction: Instruction) -> bool:
+        """True if *instruction* may enter the window this cycle.
+
+        Blocked by a full window, a full ROB, or — for a conditional
+        branch — the machine's speculation depth (PI4 speculates beyond 2
+        branches, PI8 beyond 4, PI12 beyond 6).
+        """
+        if self.window.full or self.rob.full:
+            self.stats.window_full_stalls += 1
+            return False
+        if (
+            instruction.op is OpClass.BR_COND
+            and self.unresolved_branches >= self.config.speculation_depth
+        ):
+            self.stats.speculation_stalls += 1
+            return False
+        return True
+
+    def dispatch(
+        self,
+        instruction: Instruction,
+        trace_index: int,
+        fetch_mispredicted: bool = False,
+        actual_taken: bool = False,
+        actual_target: int = -1,
+    ) -> ROBEntry:
+        """Enter *instruction* into the window and ROB.
+
+        Call :meth:`can_dispatch` first; this raises on overflow.
+        """
+        entry = ROBEntry(
+            seq=self._next_seq,
+            instruction=instruction,
+            trace_index=trace_index,
+            fetch_mispredicted=fetch_mispredicted,
+            actual_taken=actual_taken,
+            actual_target=actual_target,
+        )
+        self._next_seq += 1
+        self.rob.append(entry)
+        extra: tuple[int, ...] = ()
+        if (
+            self.config.memory_ordering == "conservative"
+            and instruction.op in (OpClass.LOAD, OpClass.STORE)
+            and self._pending_store_seq >= 0
+        ):
+            # No disambiguation hardware: memory operations wait for the
+            # previous store to complete.
+            extra = (self._pending_store_seq,)
+        self.window.dispatch(entry, extra_dependencies=extra)
+        if instruction.op is OpClass.BR_COND:
+            self.unresolved_branches += 1
+        if (
+            self.config.memory_ordering == "conservative"
+            and instruction.op is OpClass.STORE
+        ):
+            self._pending_store_seq = entry.seq
+        self.stats.dispatched += 1
+        return entry
+
+    # -- cycle phases ------------------------------------------------------------
+
+    def do_retire(self, cycle: int) -> list[ROBEntry]:
+        """Retire up to the retire width from the ROB head, updating the
+        Future file (precise state)."""
+        retired = self.rob.retire(self.config.retire_width)
+        for entry in retired:
+            self.future_file.retire_write(entry.instruction.dest, entry.seq)
+        self.stats.retired += len(retired)
+        return retired
+
+    def do_writeback(self, cycle: int) -> list[ROBEntry]:
+        """Complete executions whose results are due, bus-arbitrated.
+
+        Returns the completed entries (control transfers among them have
+        *resolved*; the simulator trains the BTB and restarts fetch for
+        flagged mispredictions).
+        """
+        inflight = self._inflight
+        due = sum(1 for item in inflight if item[0] <= cycle)
+        granted = self.buses.grant(due)
+        completed: list[ROBEntry] = []
+        for _ in range(granted):
+            _, seq, entry = heapq.heappop(inflight)
+            entry.state = EntryState.DONE
+            self.window.writeback(seq, entry.instruction.dest)
+            if entry.instruction.op is OpClass.BR_COND:
+                self.unresolved_branches -= 1
+            if seq == self._pending_store_seq:
+                self._pending_store_seq = -1
+            completed.append(entry)
+        return completed
+
+    def do_fire(self, cycle: int) -> int:
+        """Issue ready window entries to free functional units.
+
+        Returns the number fired.  Oldest-ready-first arbitration.
+        """
+        self.units.begin_cycle()
+        ready = self.window.take_ready()
+        not_issued = []
+        fired = 0
+        for wentry in ready:
+            entry = wentry.rob_entry
+            if self.units.try_issue(entry.instruction.op):
+                entry.state = EntryState.EXECUTING
+                result_cycle = cycle + entry.instruction.latency
+                heapq.heappush(self._inflight, (result_cycle, entry.seq, entry))
+                fired += 1
+            else:
+                not_issued.append(wentry)
+        if not_issued:
+            self.window.put_back(not_issued)
+        return fired
+
+    # -- state -----------------------------------------------------------------------
+
+    @property
+    def drained(self) -> bool:
+        """True when nothing is in flight."""
+        return self.rob.empty
+
+    @property
+    def retired_count(self) -> int:
+        return self.stats.retired

@@ -1,0 +1,64 @@
+"""The Messy and Future register files (paper Figure 1).
+
+The simulator tracks timing, not data values, so the register files carry
+*status* rather than contents:
+
+* the **Messy file**'s tag side is the producer table used for Tomasulo
+  renaming — per architectural register, the tag (sequence number) of the
+  newest in-flight producer, or ``READY`` once the value has been written
+  back out of order;
+* the **Future file** is updated in order at retirement and therefore
+  always reflects precise architectural state; together with the reorder
+  buffer it provides the paper's precise-interrupt facility.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import NO_REG, NUM_REGS
+
+#: Tag value meaning "value available" (no in-flight producer).
+READY = -1
+
+
+class MessyTagFile:
+    """Producer tags of the out-of-order (Messy) register file."""
+
+    def __init__(self, num_regs: int = NUM_REGS) -> None:
+        self._producer: list[int] = [READY] * num_regs
+
+    def producer_of(self, reg: int) -> int:
+        """Tag of the in-flight producer of *reg*, or ``READY``."""
+        return self._producer[reg]
+
+    def rename_dest(self, reg: int, tag: int) -> None:
+        """Record *tag* as the newest producer of *reg* (at dispatch)."""
+        if reg != NO_REG:
+            self._producer[reg] = tag
+
+    def writeback(self, reg: int, tag: int) -> None:
+        """Mark *reg* available if *tag* is still its newest producer."""
+        if reg != NO_REG and self._producer[reg] == tag:
+            self._producer[reg] = READY
+
+    def busy_registers(self) -> list[int]:
+        """Registers with an in-flight producer (for tests/inspection)."""
+        return [r for r, tag in enumerate(self._producer) if tag != READY]
+
+
+class FutureFile:
+    """In-order architectural state, updated at retirement.
+
+    Stores, per register, the sequence number of the last *retired*
+    writer; this is the precise state an interrupt would observe.
+    """
+
+    def __init__(self, num_regs: int = NUM_REGS) -> None:
+        self._last_retired_writer: list[int] = [READY] * num_regs
+
+    def retire_write(self, reg: int, seq: int) -> None:
+        if reg != NO_REG:
+            self._last_retired_writer[reg] = seq
+
+    def last_writer(self, reg: int) -> int:
+        """Sequence number of the last retired writer of *reg* (or READY)."""
+        return self._last_retired_writer[reg]

@@ -1,0 +1,74 @@
+"""Functional units and result buses (paper Figure 1 / Table 1).
+
+Units are fully pipelined: each unit accepts one new operation per cycle
+and results appear after the operation-class latency.  Completions are
+distributed over result buses whose count equals the total number of
+function units, so bus contention seldom occurs (paper Section 2) — but
+it is modelled: surplus completions slip to the next cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import UNIT_FOR_OP, OpClass, UnitType
+from repro.machines.config import MachineConfig
+
+
+@dataclass(slots=True)
+class UnitStats:
+    """Issue counters per unit type."""
+
+    issues: dict[UnitType, int] = field(
+        default_factory=lambda: {t: 0 for t in UnitType}
+    )
+    structural_stalls: int = 0  #: ready instructions denied a unit
+
+
+class FunctionalUnits:
+    """Per-cycle issue-port tracker for all unit types."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.capacity: dict[UnitType, int] = {
+            UnitType.FXU: config.num_fxu,
+            UnitType.FPU: config.num_fpu,
+            UnitType.BRANCH: config.num_branch_units,
+            UnitType.LOAD_UNIT: config.load_units,
+            UnitType.STORE_BUFFER: config.store_buffers,
+        }
+        self._used: dict[UnitType, int] = {t: 0 for t in UnitType}
+        self.stats = UnitStats()
+
+    def begin_cycle(self) -> None:
+        """Reset this cycle's issue ports."""
+        for unit_type in self._used:
+            self._used[unit_type] = 0
+
+    def try_issue(self, op: OpClass) -> bool:
+        """Claim an issue port for *op*; False if all units of its type
+        are busy this cycle."""
+        unit_type = UNIT_FOR_OP[op]
+        if self._used[unit_type] >= self.capacity[unit_type]:
+            self.stats.structural_stalls += 1
+            return False
+        self._used[unit_type] += 1
+        self.stats.issues[unit_type] += 1
+        return True
+
+
+class ResultBuses:
+    """Arbiter for the completion buses."""
+
+    def __init__(self, num_buses: int) -> None:
+        if num_buses <= 0:
+            raise ValueError("need at least one result bus")
+        self.num_buses = num_buses
+        self.contention_slips = 0
+
+    def grant(self, requested: int) -> int:
+        """Grant up to ``num_buses`` of *requested* completions; the rest
+        slip to the next cycle."""
+        granted = min(requested, self.num_buses)
+        if requested > granted:
+            self.contention_slips += requested - granted
+        return granted

@@ -1,0 +1,120 @@
+"""The scheduling window: reservation stations with Tomasulo renaming.
+
+Entries correspond to generic reservation stations (paper Section 2).
+Renaming is performed through tags — here the global sequence number of
+the producing in-flight instruction.  The *producer table* is the tag
+side of the Messy register file: for each architectural register it holds
+the tag of the newest in-flight producer, or ``READY`` when the value is
+available in the register file itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.regfiles import READY, MessyTagFile
+from repro.core.rob import ROBEntry
+from repro.isa.registers import NO_REG, NUM_REGS
+
+
+@dataclass(slots=True, eq=False)
+class WindowEntry:
+    """A reservation station holding one dispatched instruction."""
+
+    rob_entry: ROBEntry
+    pending_operands: int = 0
+
+    @property
+    def ready(self) -> bool:
+        return self.pending_operands == 0
+
+
+class SchedulingWindow:
+    """Bounded pool of reservation stations with register renaming."""
+
+    def __init__(self, size: int, num_regs: int = NUM_REGS) -> None:
+        if size <= 0:
+            raise ValueError("window size must be positive")
+        self.size = size
+        self._entries: list[WindowEntry] = []
+        self.messy = MessyTagFile(num_regs)
+        # tag -> reservation stations waiting on it
+        self._consumers: dict[int, list[WindowEntry]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.size
+
+    @property
+    def free_slots(self) -> int:
+        return self.size - len(self._entries)
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(
+        self,
+        rob_entry: ROBEntry,
+        extra_dependencies: tuple[int, ...] = (),
+    ) -> WindowEntry:
+        """Insert an instruction, renaming its operands.
+
+        *extra_dependencies* are additional in-flight tags to wait on
+        (e.g. memory-ordering edges); the caller must guarantee each tag
+        is still in flight, or the entry would never wake.
+
+        Raises ``OverflowError`` when no reservation station is free.
+        """
+        if self.full:
+            raise OverflowError("scheduling window overflow")
+        entry = WindowEntry(rob_entry)
+        instr = rob_entry.instruction
+        for src in instr.sources():
+            tag = self.messy.producer_of(src)
+            if tag != READY:
+                entry.pending_operands += 1
+                self._consumers.setdefault(tag, []).append(entry)
+        for tag in extra_dependencies:
+            entry.pending_operands += 1
+            self._consumers.setdefault(tag, []).append(entry)
+        self.messy.rename_dest(instr.dest, rob_entry.seq)
+        self._entries.append(entry)
+        return entry
+
+    # -- issue ----------------------------------------------------------------
+
+    def take_ready(self, limit: int | None = None) -> list[WindowEntry]:
+        """Remove and return up to *limit* ready entries, oldest first.
+
+        The caller decides (via functional-unit availability) which of the
+        returned entries actually issue; entries it cannot issue must be
+        handed back through :meth:`put_back`.
+        """
+        ready = [e for e in self._entries if e.ready]
+        if limit is not None:
+            ready = ready[:limit]
+        for entry in ready:
+            self._entries.remove(entry)
+        return ready
+
+    def put_back(self, entries: list[WindowEntry]) -> None:
+        """Return un-issued ready entries to the window (oldest-first order
+        is restored by sorting on sequence number)."""
+        self._entries.extend(entries)
+        self._entries.sort(key=lambda e: e.rob_entry.seq)
+
+    # -- writeback ----------------------------------------------------------------
+
+    def writeback(self, seq: int, dest: int) -> None:
+        """Broadcast a completed result: wake consumers, free the tag."""
+        for waiter in self._consumers.pop(seq, ()):
+            waiter.pending_operands -= 1
+        self.messy.writeback(dest, seq)
+
+    # -- inspection -------------------------------------------------------------------
+
+    def pending_tags(self) -> set[int]:
+        """Tags some reservation station is still waiting on (for tests)."""
+        return set(self._consumers)

@@ -1,0 +1,54 @@
+"""Figure 13: performance of pad-all and pad-trace for *sequential*.
+
+pad-all augments the unordered program; pad-trace augments the reordered
+one.  Paper findings: pad-all gains only at PI4 and *hurts* on larger
+cache-block machines (excessive nop insertion destroys locality and eats
+fetch slots); pad-trace is a cheap refinement of reordering with marginal
+gains.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    ExperimentResult,
+    all_machines,
+    hmean_ipc,
+)
+from repro.workloads.profiles import INTEGER_BENCHMARKS
+
+SERIES = (
+    ("sequential", "orig"),
+    ("sequential", "pad_all"),
+    ("sequential", "reordered"),
+    ("sequential", "pad_trace"),
+    ("perfect", "orig"),
+)
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig13",
+        title="Figure 13: integer IPC of sequential with nop padding",
+        headers=["machine"]
+        + [
+            f"{scheme}({'unordered' if variant == 'orig' else variant})"
+            for scheme, variant in SERIES
+        ],
+        notes=(
+            "Expected shape: pad-all helps at most on PI4 and degrades at "
+            "larger block sizes; pad-trace stays at or slightly above "
+            "sequential(reordered)."
+        ),
+    )
+    for machine in all_machines():
+        row = [machine.name]
+        for scheme, variant in SERIES:
+            row.append(
+                hmean_ipc(
+                    INTEGER_BENCHMARKS, machine, scheme, config, variant=variant
+                )
+            )
+        result.rows.append(row)
+    return result

@@ -1,0 +1,46 @@
+"""Instruction fetch/alignment schemes — the paper's core contribution."""
+
+from repro.fetch.alignment import (
+    HardwareCost,
+    collapsing_buffer_crossbar_cost,
+    collapsing_buffer_shifter_cost,
+    interchange_switch_cost,
+    scheme_hardware_inventory,
+    valid_select_cost,
+)
+from repro.fetch.banked import BankedSequentialFetch
+from repro.fetch.base import FetchPlan, FetchResult, FetchStats, FetchUnit
+from repro.fetch.collapsing import CollapsingBufferFetch
+from repro.fetch.factory import (
+    ALL_SCHEMES,
+    HARDWARE_SCHEMES,
+    SCHEMES,
+    create_fetch_unit,
+)
+from repro.fetch.interleaved import InterleavedSequentialFetch
+from repro.fetch.perfect import PerfectFetch
+from repro.fetch.sequential import SequentialFetch
+from repro.fetch.trace_cache import TraceCacheFetch
+
+__all__ = [
+    "ALL_SCHEMES",
+    "BankedSequentialFetch",
+    "CollapsingBufferFetch",
+    "FetchPlan",
+    "FetchResult",
+    "FetchStats",
+    "FetchUnit",
+    "HARDWARE_SCHEMES",
+    "HardwareCost",
+    "InterleavedSequentialFetch",
+    "PerfectFetch",
+    "SCHEMES",
+    "SequentialFetch",
+    "TraceCacheFetch",
+    "collapsing_buffer_crossbar_cost",
+    "collapsing_buffer_shifter_cost",
+    "create_fetch_unit",
+    "interchange_switch_cost",
+    "scheme_hardware_inventory",
+    "valid_select_cost",
+]

@@ -1,0 +1,129 @@
+"""Logic-level cost models of the alignment hardware.
+
+The paper details the implementation of each alignment component and its
+gate/delay budget (Figures 6 and 8).  These models reproduce those
+formulas so designs can be compared quantitatively:
+
+* interchange switch       — Figure 6(a)
+* valid-select logic       — Figure 6(b)
+* shifter collapsing buffer — Figure 8(a)
+* crossbar collapsing buffer — Figure 8(b)
+
+``k`` is the number of instructions per cache block (= issue rate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class HardwareCost:
+    """Area/delay summary of one alignment component.
+
+    Attributes:
+        component: Component name.
+        transmission_gates: Pass-transistor count.
+        latches: 1-bit register count.
+        muxes: Multiplexer inventory ``{description: count}``.
+        demuxes: Demultiplexer inventory ``{description: count}``.
+        delay_gates: Worst-case delay in gate delays (-1: not gate-limited).
+        delay_latches: Worst-case delay in latch delays.
+        notes: Qualifications (e.g. bus propagation terms).
+    """
+
+    component: str
+    transmission_gates: int = 0
+    latches: int = 0
+    muxes: dict[str, int] = field(default_factory=dict)
+    demuxes: dict[str, int] = field(default_factory=dict)
+    delay_gates: int = 0
+    delay_latches: int = 0
+    notes: str = ""
+
+
+def interchange_switch_cost(k: int) -> HardwareCost:
+    """Interchange switch reversing fetch/target block order (Fig. 6a)."""
+    _check_k(k)
+    return HardwareCost(
+        component="interchange_switch",
+        transmission_gates=64 * k,
+        delay_gates=2,
+        notes="plus inverter/driver per line; all lines 32 bits wide",
+    )
+
+
+def valid_select_cost(k: int) -> HardwareCost:
+    """Valid-select logic picking k valid instructions from 2k (Fig. 6b)."""
+    _check_k(k)
+    return HardwareCost(
+        component="valid_select",
+        muxes={
+            f"{k}-to-1 32-bit": 3,
+            f"{k - 1}-to-1 32-bit": 3,
+            "2-to-1 32-bit": 3,
+        },
+        delay_gates=4,
+        notes="all lines 32 bits wide",
+    )
+
+
+def collapsing_buffer_shifter_cost(k: int) -> HardwareCost:
+    """Shifter implementation of the collapsing buffer (Fig. 8a).
+
+    Delay is input dependent: best case one latch delay, worst case
+    ``(lg(k) - 1)`` latch delays (e.g. two for a PI4-sized buffer per the
+    paper's parenthetical, counting its doubled 2k-entry datapath).
+    """
+    _check_k(k)
+    worst = max(1, int(math.log2(2 * k)) - 1)
+    return HardwareCost(
+        component="collapsing_buffer_shifter",
+        latches=64 * k,
+        transmission_gates=64 * k - 32,
+        delay_latches=worst,
+        notes="input-dependent delay; best case 1 latch delay",
+    )
+
+
+def collapsing_buffer_crossbar_cost(k: int) -> HardwareCost:
+    """Bus-based crossbar implementation of the collapsing buffer (Fig. 8b).
+
+    One gate delay plus bus propagation; also capable of handling backward
+    branches (not exploited by the modelled controller).
+    """
+    _check_k(k)
+    return HardwareCost(
+        component="collapsing_buffer_crossbar",
+        demuxes={f"1-to-{k} 32-bit": 2 * k},
+        delay_gates=1,
+        notes="plus bus propagation delays; can handle backward branches",
+    )
+
+
+def scheme_hardware_inventory(scheme: str, k: int) -> list[HardwareCost]:
+    """Alignment components required by *scheme* at block size *k*.
+
+    Scheme names follow :mod:`repro.fetch.factory`.  ``sequential`` needs
+    only masking logic (no extra alignment hardware); the collapsing
+    buffer subsumes the valid-select logic and (in crossbar form) the
+    interchange switch.
+    """
+    _check_k(k)
+    if scheme == "sequential":
+        return []
+    if scheme == "interleaved_sequential" or scheme == "banked_sequential":
+        return [interchange_switch_cost(k), valid_select_cost(k)]
+    if scheme == "collapsing_buffer":
+        return [collapsing_buffer_crossbar_cost(k)]
+    if scheme == "collapsing_buffer_shifter":
+        return [interchange_switch_cost(k), collapsing_buffer_shifter_cost(k)]
+    if scheme == "perfect":
+        return []
+    raise KeyError(f"unknown scheme: {scheme!r}")
+
+
+def _check_k(k: int) -> None:
+    if k < 2:
+        raise ValueError(f"unsupported instructions-per-block: {k}")

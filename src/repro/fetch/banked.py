@@ -1,0 +1,65 @@
+"""The *banked sequential* scheme (paper Section 3.2).
+
+Like interleaved sequential, but the second cache access targets the
+BTB-predicted *successor block* rather than blindly the next sequential
+block, so fetch may continue across one **inter-block** taken branch per
+cycle.  Two failure modes remain:
+
+* **bank conflict** — the successor block maps to the same bank as the
+  fetch block; the successor is not fetched this cycle;
+* **intra-block branches** — a taken branch whose target lies in the
+  fetch block itself cannot be realigned; delivery stops at the branch.
+
+The BTB need not be queried twice per cycle: the successor block's valid
+bits come from the overlapped BTB access of the following fetch (paper
+Section 3.2), which our single-cycle planning models directly.
+"""
+
+from __future__ import annotations
+
+from repro.fetch.base import FetchPlan, FetchUnit
+
+
+class BankedSequentialFetch(FetchUnit):
+    """Two-bank fetch crossing one inter-block taken branch per cycle."""
+
+    name = "banked_sequential"
+    num_banks = 2
+
+    def plan(self, fetch_address: int, limit: int) -> FetchPlan:
+        block = self._block_of(fetch_address)
+        if not self.cache.access(block):
+            self.cache.fill(block)
+            return FetchPlan(stall_cycles=self.cache.miss_latency)
+
+        plan = FetchPlan()
+        target = self._walk_sequential(
+            fetch_address, self._block_end(block), limit, plan
+        )
+        if len(plan.addresses) >= limit:
+            return plan
+
+        if target >= 0:
+            successor_block = self._block_of(target)
+            if successor_block == block:
+                # Intra-block branch: no realignment hardware; stop at the
+                # branch (next cycle restarts at the target).
+                return plan
+            successor_start = target
+        else:
+            # No predicted-taken branch: continue sequentially, exactly
+            # like interleaved sequential.
+            successor_block = block + 1
+            successor_start = self._block_end(block)
+
+        if self.cache.bank_of(successor_block) == self.cache.bank_of(block):
+            # Bank interference: the successor block is not fetched.
+            return plan
+        if not self.cache.access(successor_block):
+            self.cache.fill(successor_block)
+            return plan
+
+        self._walk_sequential(
+            successor_start, self._block_end(successor_block), limit, plan
+        )
+        return plan

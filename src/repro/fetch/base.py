@@ -1,0 +1,297 @@
+"""Fetch-unit framework shared by all alignment schemes.
+
+Each scheme plans a *predicted path* for one fetch cycle from nothing but
+addresses, the I-cache and the interleaved BTB — exactly the information
+the hardware has.  The trace-driven harness then compares the plan with
+the known dynamic trace:
+
+* matching prefix -> delivered (correct-path) instructions;
+* first divergence -> the immediately preceding control instruction was
+  mispredicted; delivery truncates there, fetch stalls until the branch
+  resolves in the core, and resumes ``fetch_penalty`` cycles later;
+* a plan whose *continuation address* disagrees with the trace is equally
+  a misprediction charged to the last delivered instruction.
+
+This reproduces the paper's penalty model: the fetch misprediction
+penalty (two cycles; three for the shifter collapsing buffer) plus the
+instruction-stream-dependent time until the branch resolves.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.branch.btb import BranchTargetBuffer, BTBPrediction
+from repro.branch.predictors import DirectionPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.machines.config import MachineConfig
+from repro.memory.icache import InstructionCache
+from repro.workloads.trace import DynamicTrace
+
+
+@dataclass(slots=True)
+class FetchPlan:
+    """A scheme's plan for one cycle.
+
+    Attributes:
+        addresses: Predicted instruction addresses to deliver, in order.
+        next_address: Where fetch believes the stream continues after the
+            last planned address.
+        stall_cycles: If positive, an I-cache miss: deliver nothing and
+            stall this many cycles (the missing block has been filled).
+    """
+
+    addresses: list[int] = field(default_factory=list)
+    next_address: int = -1
+    stall_cycles: int = 0
+
+
+@dataclass(slots=True)
+class FetchResult:
+    """Outcome of one fetch cycle.
+
+    Attributes:
+        instructions: Correct-path instructions delivered to decode.
+        mispredict: True if the last delivered instruction was a
+            mispredicted control transfer; fetch must stall until it
+            resolves.
+        stall_cycles: I-cache miss stall (no delivery this cycle).
+    """
+
+    instructions: list[Instruction]
+    mispredict: bool = False
+    stall_cycles: int = 0
+
+    @property
+    def delivered(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass(slots=True)
+class FetchStats:
+    """Aggregate fetch-unit statistics."""
+
+    cycles: int = 0
+    delivered: int = 0
+    mispredicts: int = 0
+    cache_stall_cycles: int = 0
+    full_deliveries: int = 0  #: cycles delivering a full issue group
+
+
+class FetchUnit(ABC):
+    """Base class for the paper's fetch/alignment schemes.
+
+    Subclasses define :attr:`num_banks` and implement :meth:`plan`.
+    """
+
+    #: Scheme name used in reports (overridden by subclasses).
+    name: str = "abstract"
+    #: I-cache banks the scheme requires.
+    num_banks: int = 1
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        trace: DynamicTrace,
+        direction_predictor: DirectionPredictor | None = None,
+        return_stack: ReturnAddressStack | None = None,
+        num_banks: int | None = None,
+    ) -> None:
+        """Create the unit.
+
+        The optional *direction_predictor* replaces the BTB's 2-bit
+        counters for conditional-branch direction (targets still come
+        from the BTB); the optional *return_stack* predicts return
+        targets.  Both are extensions beyond the paper's baseline,
+        used by the predictor ablations (the conclusion asks whether a
+        better predictor makes the shifter collapsing buffer viable).
+        *num_banks* overrides the scheme's cache banking (ablations).
+        """
+        self.config = config
+        self.trace = trace
+        self.direction_predictor = direction_predictor
+        self.return_stack = return_stack
+        if num_banks is not None:
+            self.num_banks = num_banks
+        self.block_words = config.words_per_block
+        self.cache = InstructionCache(
+            size_bytes=config.icache_bytes,
+            block_bytes=config.icache_block_bytes,
+            num_banks=self.num_banks,
+            miss_latency=config.icache_miss_latency,
+        )
+        self.btb = BranchTargetBuffer(
+            num_entries=config.btb_entries,
+            interleave=config.words_per_block,
+        )
+        self.stats = FetchStats()
+
+    # -- the per-scheme planning step ---------------------------------------
+
+    @abstractmethod
+    def plan(self, fetch_address: int, limit: int) -> FetchPlan:
+        """Plan one fetch cycle starting at *fetch_address*.
+
+        *limit* caps the number of addresses planned (window space and
+        issue width).  Implementations may only use addresses, the cache
+        and the BTB — never the trace.
+        """
+
+    # -- harness ------------------------------------------------------------
+
+    def fetch_cycle(self, position: int, limit: int) -> FetchResult:
+        """Run one fetch cycle at trace *position*; see module docstring."""
+        trace = self.trace.instructions
+        if position >= len(trace) or limit <= 0:
+            return FetchResult([])
+        self.stats.cycles += 1
+        fetch_address = trace[position].address
+        plan = self.plan(fetch_address, min(limit, self.config.issue_rate))
+        if plan.stall_cycles > 0:
+            self.stats.cache_stall_cycles += plan.stall_cycles
+            return FetchResult([], stall_cycles=plan.stall_cycles)
+
+        matched = 0
+        mispredict = False
+        for planned_address in plan.addresses:
+            index = position + matched
+            if index >= len(trace):
+                break
+            if trace[index].address != planned_address:
+                mispredict = True
+                break
+            matched += 1
+        if not mispredict:
+            cont = position + matched
+            if cont < len(trace) and plan.next_address != trace[cont].address:
+                mispredict = True
+        if matched == 0:
+            # The plan always starts at the actual fetch address.
+            raise AssertionError("fetch plan diverged at its own fetch address")
+
+        delivered = trace[position : position + matched]
+        self.stats.delivered += matched
+        if mispredict:
+            self.stats.mispredicts += 1
+        if matched == self.config.issue_rate:
+            self.stats.full_deliveries += 1
+        return FetchResult(delivered, mispredict=mispredict)
+
+    def wrong_path_cycle(self, address: int, limit: int) -> int:
+        """Fetch one *wrong-path* cycle starting at *address*.
+
+        Used by the optional wrong-path-fetch simulation mode: after a
+        misprediction real hardware keeps fetching down the predicted
+        (wrong) path until the branch resolves, touching — and polluting
+        — the instruction cache.  The planned instructions are discarded;
+        only the cache side effects and the continuation address matter.
+        Returns the next wrong-path fetch address (or -1 to stop, e.g. on
+        a cache-miss stall).
+        """
+        if address < 0:
+            return -1
+        plan = self.plan(address, min(limit, self.config.issue_rate))
+        if plan.stall_cycles > 0:
+            # The miss fill was already triggered; hardware would wait —
+            # stop following this path (resolution usually wins the race).
+            return -1
+        return plan.next_address
+
+    def train(
+        self,
+        instruction: Instruction,
+        taken: bool,
+        target: int,
+    ) -> None:
+        """Train the predictors with a resolved control transfer
+        (called by the core at branch resolution)."""
+        self.btb.update(
+            instruction.address,
+            taken,
+            target,
+            is_unconditional=instruction.is_unconditional,
+            is_call=instruction.op is OpClass.CALL,
+            is_return=instruction.op is OpClass.RET,
+        )
+        if (
+            self.direction_predictor is not None
+            and instruction.is_conditional_branch
+        ):
+            self.direction_predictor.update(
+                instruction.address, instruction.target, taken
+            )
+
+    def predict_slot(self, address: int) -> BTBPrediction:
+        """Predict one instruction slot, combining BTB, the optional
+        direction predictor, and the optional return stack.
+
+        The return stack is speculative and unrepaired: capacity-cut
+        walks may pop/push without the instructions being delivered,
+        exactly as wrong-path fetch would perturb real hardware.
+        """
+        prediction = self.btb.predict(address)
+        if not prediction.hit:
+            return prediction
+        if prediction.is_conditional and self.direction_predictor is not None:
+            taken = self.direction_predictor.predict(
+                address, prediction.target
+            )
+            prediction = BTBPrediction(
+                hit=True,
+                taken=taken,
+                target=prediction.target,
+                is_conditional=True,
+            )
+        if self.return_stack is not None and prediction.taken:
+            if prediction.is_return:
+                predicted = self.return_stack.pop()
+                if predicted >= 0:
+                    prediction = BTBPrediction(
+                        hit=True,
+                        taken=True,
+                        target=predicted,
+                        is_return=True,
+                    )
+            elif prediction.is_call:
+                self.return_stack.push(address + 1)
+        return prediction
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _block_of(self, address: int) -> int:
+        return address // self.block_words
+
+    def _block_start(self, block: int) -> int:
+        return block * self.block_words
+
+    def _block_end(self, block: int) -> int:
+        """One past the last address of *block*."""
+        return (block + 1) * self.block_words
+
+    def _walk_sequential(
+        self,
+        start: int,
+        stop: int,
+        limit: int,
+        plan: FetchPlan,
+    ) -> int:
+        """Append addresses from *start* while sequential, BTB-guided.
+
+        Walks ``[start, stop)`` appending to the plan until *limit* is
+        reached or the BTB predicts a taken transfer.  Returns the
+        predicted taken target, or -1 if the walk ended sequentially
+        (at *stop* or at the limit).  ``plan.next_address`` is set.
+        """
+        address = start
+        while address < stop and len(plan.addresses) < limit:
+            plan.addresses.append(address)
+            prediction = self.predict_slot(address)
+            if prediction.taken:
+                plan.next_address = prediction.target
+                return prediction.target
+            address += 1
+        plan.next_address = address
+        return -1

@@ -1,0 +1,100 @@
+"""The *collapsing buffer* scheme — the paper's contribution (Section 3.3).
+
+Extends banked sequential with a buffer that *collapses* the gap between
+an intra-block taken branch and its target, so the target instruction
+follows the branch in the decoder (merging).  The controller modelled in
+the paper handles **forward** intra-block branches (multiple per block)
+plus one inter-block branch per fetch; backward intra-block branches are
+not supported (the crossbar implementation could, but the paper's
+controller does not).
+
+Two implementations are sketched in paper Figure 8 — a shifter and a
+bus-based crossbar (cost models in :mod:`repro.fetch.alignment`).  The
+crossbar keeps the fetch misprediction penalty at two cycles; the shifter
+raises it to three (evaluated in paper Figure 11 via
+``MachineConfig.with_fetch_penalty(3)``).
+"""
+
+from __future__ import annotations
+
+from repro.fetch.base import FetchPlan, FetchUnit
+
+
+class CollapsingBufferFetch(FetchUnit):
+    """Finely-banked fetch with intra-block gap collapsing.
+
+    Paper Figure 7 draws the collapsing buffer's cache with one bank per
+    instruction slot (four at PI4), unlike the two-bank organisation of
+    interleaved/banked sequential (Figure 4) — so successor-block bank
+    interference is proportionally rarer here.
+    """
+
+    name = "collapsing_buffer"
+    num_banks = 2  # class default; per-machine value set in __init__
+
+    def __init__(self, config, trace, **kwargs) -> None:
+        self.num_banks = config.words_per_block
+        super().__init__(config, trace, **kwargs)
+
+    def _walk_collapsing(
+        self,
+        start: int,
+        block: int,
+        limit: int,
+        plan: FetchPlan,
+    ) -> int:
+        """Walk within *block*, collapsing forward intra-block branches.
+
+        Returns the predicted target when a taken branch *leaves* the walk
+        (inter-block target, or an un-collapsible backward intra-block
+        target), else -1 when the walk ends sequentially.  Sets
+        ``plan.next_address``.
+        """
+        end = self._block_end(block)
+        address = start
+        while address < end and len(plan.addresses) < limit:
+            plan.addresses.append(address)
+            prediction = self.predict_slot(address)
+            if prediction.taken:
+                target = prediction.target
+                if self._block_of(target) == block and target > address:
+                    # Forward intra-block branch: collapse the gap and keep
+                    # delivering from the target in the same block.
+                    address = target
+                    continue
+                plan.next_address = target
+                return target
+            address += 1
+        plan.next_address = address
+        return -1
+
+    def plan(self, fetch_address: int, limit: int) -> FetchPlan:
+        block = self._block_of(fetch_address)
+        if not self.cache.access(block):
+            self.cache.fill(block)
+            return FetchPlan(stall_cycles=self.cache.miss_latency)
+
+        plan = FetchPlan()
+        target = self._walk_collapsing(fetch_address, block, limit, plan)
+        if len(plan.addresses) >= limit:
+            return plan
+
+        if target >= 0:
+            successor_block = self._block_of(target)
+            if successor_block == block:
+                # Backward intra-block branch: the modelled controller does
+                # not collapse it; stop at the branch.
+                return plan
+            successor_start = target
+        else:
+            successor_block = block + 1
+            successor_start = self._block_end(block)
+
+        if self.cache.bank_of(successor_block) == self.cache.bank_of(block):
+            return plan
+        if not self.cache.access(successor_block):
+            self.cache.fill(successor_block)
+            return plan
+
+        self._walk_collapsing(successor_start, successor_block, limit, plan)
+        return plan

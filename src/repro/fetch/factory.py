@@ -1,0 +1,64 @@
+"""Fetch-scheme registry and factory."""
+
+from __future__ import annotations
+
+from repro.fetch.banked import BankedSequentialFetch
+from repro.fetch.base import FetchUnit
+from repro.fetch.collapsing import CollapsingBufferFetch
+from repro.fetch.interleaved import InterleavedSequentialFetch
+from repro.fetch.perfect import PerfectFetch
+from repro.fetch.sequential import SequentialFetch
+from repro.fetch.trace_cache import TraceCacheFetch
+from repro.branch.predictors import DirectionPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.machines.config import MachineConfig
+from repro.workloads.trace import DynamicTrace
+
+#: All fetch schemes, keyed by their canonical names, in the paper's
+#: order of increasing capability.
+SCHEMES: dict[str, type[FetchUnit]] = {
+    SequentialFetch.name: SequentialFetch,
+    InterleavedSequentialFetch.name: InterleavedSequentialFetch,
+    BankedSequentialFetch.name: BankedSequentialFetch,
+    CollapsingBufferFetch.name: CollapsingBufferFetch,
+    PerfectFetch.name: PerfectFetch,
+    # Beyond the paper: the trace-cache direction this work led to.
+    TraceCacheFetch.name: TraceCacheFetch,
+}
+
+#: The four hardware schemes compared in paper Figures 9 and 10.
+HARDWARE_SCHEMES: tuple[str, ...] = (
+    "sequential",
+    "interleaved_sequential",
+    "banked_sequential",
+    "collapsing_buffer",
+)
+
+ALL_SCHEMES: tuple[str, ...] = tuple(SCHEMES)
+
+
+def create_fetch_unit(
+    scheme: str,
+    config: MachineConfig,
+    trace: DynamicTrace,
+    direction_predictor: DirectionPredictor | None = None,
+    return_stack: ReturnAddressStack | None = None,
+    num_banks: int | None = None,
+) -> FetchUnit:
+    """Instantiate the fetch unit named *scheme* for *config* and *trace*.
+
+    The optional predictor and banking arguments enable the beyond-paper
+    extensions and ablations (see :class:`~repro.fetch.base.FetchUnit`).
+    """
+    try:
+        cls = SCHEMES[scheme]
+    except KeyError:
+        known = ", ".join(SCHEMES)
+        raise KeyError(f"unknown fetch scheme {scheme!r}; known: {known}") from None
+    return cls(
+        config,
+        trace,
+        direction_predictor=direction_predictor,
+        return_stack=return_stack,
+        num_banks=num_banks,
+    )

@@ -1,0 +1,40 @@
+"""The *interleaved sequential* scheme (paper Figure 4, Section 3.1).
+
+The I-cache is split into two banks and the next sequential block is
+prefetched alongside the fetch block, so a fetch run may span a block
+boundary.  Delivery still terminates at the first predicted-taken branch:
+non-sequential accesses are not possible.  The interchange switch restores
+bank order and the valid-select logic picks the valid instructions (their
+logic-level cost models live in :mod:`repro.fetch.alignment`).
+"""
+
+from __future__ import annotations
+
+from repro.fetch.base import FetchPlan, FetchUnit
+
+
+class InterleavedSequentialFetch(FetchUnit):
+    """Two-bank sequential fetch with next-block prefetch."""
+
+    name = "interleaved_sequential"
+    num_banks = 2
+
+    def plan(self, fetch_address: int, limit: int) -> FetchPlan:
+        block = self._block_of(fetch_address)
+        if not self.cache.access(block):
+            self.cache.fill(block)
+            return FetchPlan(stall_cycles=self.cache.miss_latency)
+        # Consecutive blocks always map to different banks, so the
+        # sequential prefetch never conflicts.  A prefetch miss merely
+        # truncates this cycle's run at the block boundary (the block is
+        # filled for the next access).
+        stop_block = block
+        if self.cache.access(block + 1):
+            stop_block = block + 1
+        else:
+            self.cache.fill(block + 1)
+        plan = FetchPlan()
+        self._walk_sequential(
+            fetch_address, self._block_end(stop_block), limit, plan
+        )
+        return plan

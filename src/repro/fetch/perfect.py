@@ -1,0 +1,50 @@
+"""The *perfect* fetch bound (paper Section 3).
+
+"The upper bound of instruction fetch bandwidth is when the pipeline is
+never starved due to a lack of instructions ... perfect assumes that the
+instruction memory bandwidth into the scheduling window is unlimited (in
+the absence of instruction cache misses)."
+
+Perfect is therefore an *alignment* bound, not a prediction oracle: it
+follows the same BTB-predicted path as the hardware schemes, but delivers
+a full issue group every cycle regardless of block boundaries, bank
+conflicts, or how many taken branches the group crosses.  Branch
+mispredictions cost the same as everywhere else, and I-cache misses still
+stall fetch — which is why ``EIR(perfect)`` falls short of the ideal
+issue rate (paper Section 3.4).
+"""
+
+from __future__ import annotations
+
+from repro.fetch.base import FetchPlan, FetchUnit
+
+
+class PerfectFetch(FetchUnit):
+    """Upper-bound fetch: unlimited alignment capability."""
+
+    name = "perfect"
+    num_banks = 1
+
+    def plan(self, fetch_address: int, limit: int) -> FetchPlan:
+        plan = FetchPlan()
+        first_block = self._block_of(fetch_address)
+        if not self.cache.access(first_block):
+            self.cache.fill(first_block)
+            return FetchPlan(stall_cycles=self.cache.miss_latency)
+
+        seen_blocks = {first_block}
+        address = fetch_address
+        while len(plan.addresses) < limit:
+            block = self._block_of(address)
+            if block not in seen_blocks:
+                if not self.cache.access(block):
+                    # Fill in the background; the group truncates just
+                    # before the missing block.
+                    self.cache.fill(block)
+                    break
+                seen_blocks.add(block)
+            plan.addresses.append(address)
+            prediction = self.predict_slot(address)
+            address = prediction.target if prediction.taken else address + 1
+        plan.next_address = address
+        return plan

@@ -1,0 +1,29 @@
+"""The *sequential* block-fetch scheme (paper Figure 2).
+
+Fetches one cache block and masks from the fetch offset to the first
+predicted-taken branch or the end of the block.  No hardware handles
+branches inside the block, so only sequential instruction runs are
+supplied.  This is the realistic lower bound of the paper's study.
+"""
+
+from __future__ import annotations
+
+from repro.fetch.base import FetchPlan, FetchUnit
+
+
+class SequentialFetch(FetchUnit):
+    """Single-block, mask-based sequential fetch."""
+
+    name = "sequential"
+    num_banks = 1
+
+    def plan(self, fetch_address: int, limit: int) -> FetchPlan:
+        block = self._block_of(fetch_address)
+        if not self.cache.access(block):
+            self.cache.fill(block)
+            return FetchPlan(stall_cycles=self.cache.miss_latency)
+        plan = FetchPlan()
+        self._walk_sequential(
+            fetch_address, self._block_end(block), limit, plan
+        )
+        return plan

@@ -1,0 +1,118 @@
+"""A simple trace cache — the *extension* this paper's line of work led to.
+
+The collapsing buffer realigns instructions as they leave a conventional
+instruction cache; the trace cache (Rotenberg/Bennett/Smith, 1996) takes
+the next step and caches the *dynamic* sequences themselves, so a fetch
+hit delivers an already-collapsed run crossing any number of taken
+branches.  This module implements a deliberately simple variant as a
+beyond-the-paper comparison point:
+
+* lines hold up to one issue group of instruction addresses, recorded
+  from the correct-path stream as it is delivered (fill-unit style);
+* lines are indexed by starting address, direct-mapped, implicitly
+  predicting "the same path as last time" (no multiple-branch predictor);
+* misses fall back to interleaved-sequential fetch through the ordinary
+  instruction cache, modelling the conventional fetch path the original
+  design kept alongside.
+
+Registered with the factory as ``trace_cache``; it is *not* part of the
+paper's scheme set (``HARDWARE_SCHEMES``), and appears in the ablation
+experiments instead.
+"""
+
+from __future__ import annotations
+
+from repro.fetch.base import FetchPlan
+from repro.fetch.interleaved import InterleavedSequentialFetch
+
+
+class TraceCacheFetch(InterleavedSequentialFetch):
+    """Trace-cache fetch with an interleaved-sequential fallback path."""
+
+    name = "trace_cache"
+    num_banks = 2
+
+    def __init__(
+        self,
+        config,
+        trace,
+        num_lines: int = 256,
+        **kwargs,
+    ) -> None:
+        super().__init__(config, trace, **kwargs)
+        self.num_lines = num_lines
+        #: start address -> recorded path (list of addresses)
+        self._lines: dict[int, list[int]] = {}
+        #: fill buffer accumulating the current correct-path segment
+        self._fill_start = -1
+        self._fill: list[int] = []
+        self.trace_hits = 0
+        self.trace_misses = 0
+
+    # -- lookup -----------------------------------------------------------
+
+    def _line_slot(self, address: int) -> int:
+        return address % self.num_lines
+
+    def plan(self, fetch_address: int, limit: int) -> FetchPlan:
+        line = self._lines.get(fetch_address)
+        if line is not None:
+            # A trace-cache hit supplies the recorded path regardless of
+            # alignment; the conventional cache is untouched this cycle.
+            self.trace_hits += 1
+            addresses = line[:limit]
+            if len(addresses) < len(line):
+                next_address = line[len(addresses)]
+            else:
+                last = addresses[-1]
+                prediction = self.predict_slot(last)
+                next_address = (
+                    prediction.target if prediction.taken else last + 1
+                )
+            return FetchPlan(addresses=addresses, next_address=next_address)
+        self.trace_misses += 1
+        return super().plan(fetch_address, limit)
+
+    # -- fill unit ------------------------------------------------------------
+
+    def fetch_cycle(self, position: int, limit: int):
+        result = super().fetch_cycle(position, limit)
+        if result.stall_cycles or not result.instructions:
+            return result
+        # Record the delivered correct-path addresses into the fill buffer;
+        # a completed group (or a misprediction) seals the line.
+        for instr in result.instructions:
+            if self._fill_start < 0:
+                self._fill_start = instr.address
+            self._fill.append(instr.address)
+            if len(self._fill) >= self.config.issue_rate:
+                self._seal_line()
+        if result.mispredict:
+            # The recorded path ends at a misprediction; seal what we have
+            # so the next encounter re-records the (new) hot path.
+            self._seal_line()
+        return result
+
+    def _seal_line(self) -> None:
+        if self._fill_start >= 0 and len(self._fill) > 1:
+            if len(self._lines) >= self.num_lines:
+                # Direct-mapped flavour: evict the line sharing the slot,
+                # else an arbitrary victim.
+                slot = self._line_slot(self._fill_start)
+                victim = next(
+                    (
+                        start
+                        for start in self._lines
+                        if self._line_slot(start) == slot
+                    ),
+                    next(iter(self._lines)),
+                )
+                del self._lines[victim]
+            self._lines[self._fill_start] = list(self._fill)
+        self._fill_start = -1
+        self._fill.clear()
+
+    @property
+    def trace_hit_ratio(self) -> float:
+        total = self.trace_hits + self.trace_misses
+        return self.trace_hits / total if total else 0.0

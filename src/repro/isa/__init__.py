@@ -1,0 +1,59 @@
+"""Simplified fixed-format 32-bit RISC instruction set (paper Section 2)."""
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import (
+    BYTES_PER_INSTRUCTION,
+    UNPLACED,
+    Instruction,
+    nop,
+)
+from repro.isa.opcodes import (
+    CONTROL_OPS,
+    LATENCY_FOR_OP,
+    UNCONDITIONAL_OPS,
+    UNIT_FOR_OP,
+    OpClass,
+    UnitType,
+    is_control,
+    is_unconditional,
+)
+from repro.isa.registers import (
+    FP_REG_BASE,
+    INT_REG_BASE,
+    NO_REG,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_REGS,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    reg_name,
+)
+
+__all__ = [
+    "BYTES_PER_INSTRUCTION",
+    "CONTROL_OPS",
+    "EncodingError",
+    "FP_REG_BASE",
+    "INT_REG_BASE",
+    "Instruction",
+    "LATENCY_FOR_OP",
+    "NO_REG",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "NUM_REGS",
+    "OpClass",
+    "UNCONDITIONAL_OPS",
+    "UNIT_FOR_OP",
+    "UNPLACED",
+    "UnitType",
+    "decode",
+    "encode",
+    "fp_reg",
+    "int_reg",
+    "is_control",
+    "is_fp_reg",
+    "is_unconditional",
+    "nop",
+    "reg_name",
+]

@@ -1,0 +1,127 @@
+"""Binary encoding of the fixed 32-bit instruction format.
+
+The paper's instruction set is "a simplified version of GCC's intermediate
+code ... encoded using a fixed, 32-bit format".  We define a concrete
+encoding so programs have a real binary image (used by the I-cache model's
+capacity accounting and by tests that round-trip programs):
+
+Register format (NOP/IALU/FALU/LOAD/STORE)::
+
+    [31:26] opcode  [25:20] dest  [19:14] src1  [13:8] src2  [7:0] zero
+
+Branch format (BR_COND)::
+
+    [31:26] opcode  [25:20] src1  [19:0] signed target displacement (words)
+
+Jump format (JUMP/CALL/RET)::
+
+    [31:26] opcode  [25:0] signed target displacement (words)
+
+Displacements are relative to the branch's own word address.  ``RET``
+encodes a zero displacement (targets are call-site dependent).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import UNPLACED, Instruction
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NO_REG
+
+_OPCODE_SHIFT = 26
+_DEST_SHIFT = 20
+_SRC1_SHIFT = 14
+_SRC2_SHIFT = 8
+_REG_MASK = 0x3F
+
+_BR_DISP_BITS = 20
+_JMP_DISP_BITS = 26
+
+#: Register field value encoding "no register".
+_REG_NONE = 0x3F
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _encode_reg(reg: int) -> int:
+    if reg == NO_REG:
+        return _REG_NONE
+    if not 0 <= reg < _REG_NONE:
+        raise EncodingError(f"register id not encodable: {reg}")
+    return reg
+
+
+def _decode_reg(field: int) -> int:
+    return NO_REG if field == _REG_NONE else field
+
+
+def _encode_disp(value: int, bits: int) -> int:
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"displacement {value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def _decode_disp(field: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (field & (sign - 1)) - (field & sign)
+
+
+def encode(instr: Instruction) -> int:
+    """Encode *instr* into its 32-bit binary word.
+
+    Control instructions must be placed (have an address) so the target
+    displacement can be computed; ``RET`` is exempt.
+    """
+    word = int(instr.op) << _OPCODE_SHIFT
+    if instr.op in (OpClass.BR_COND, OpClass.JUMP, OpClass.CALL, OpClass.RET):
+        if instr.op is OpClass.RET:
+            disp = 0
+        else:
+            if instr.address == UNPLACED or instr.target == UNPLACED:
+                raise EncodingError(
+                    "control instruction must be laid out before encoding"
+                )
+            disp = instr.target - instr.address
+        if instr.op is OpClass.BR_COND:
+            word |= _encode_reg(instr.src1) << _DEST_SHIFT
+            word |= _encode_disp(disp, _BR_DISP_BITS)
+        else:
+            word |= _encode_disp(disp, _JMP_DISP_BITS)
+        return word
+    word |= _encode_reg(instr.dest) << _DEST_SHIFT
+    word |= _encode_reg(instr.src1) << _SRC1_SHIFT
+    word |= _encode_reg(instr.src2) << _SRC2_SHIFT
+    return word
+
+
+def decode(word: int, address: int = UNPLACED) -> Instruction:
+    """Decode a 32-bit binary word into an :class:`Instruction`.
+
+    If *address* is given, branch targets are materialised from the encoded
+    displacement.
+    """
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"not a 32-bit word: {word!r}")
+    opcode = word >> _OPCODE_SHIFT
+    try:
+        op = OpClass(opcode)
+    except ValueError as exc:
+        raise EncodingError(f"unknown opcode: {opcode}") from exc
+    if op in (OpClass.JUMP, OpClass.CALL, OpClass.RET):
+        disp = _decode_disp(word & ((1 << _JMP_DISP_BITS) - 1), _JMP_DISP_BITS)
+        target = UNPLACED
+        if op is not OpClass.RET and address != UNPLACED:
+            target = address + disp
+        return Instruction(op, address=address, target=target)
+    if op is OpClass.BR_COND:
+        src1 = _decode_reg((word >> _DEST_SHIFT) & _REG_MASK)
+        disp = _decode_disp(word & ((1 << _BR_DISP_BITS) - 1), _BR_DISP_BITS)
+        target = address + disp if address != UNPLACED else UNPLACED
+        return Instruction(op, src1=src1, address=address, target=target)
+    dest = _decode_reg((word >> _DEST_SHIFT) & _REG_MASK)
+    src1 = _decode_reg((word >> _SRC1_SHIFT) & _REG_MASK)
+    src2 = _decode_reg((word >> _SRC2_SHIFT) & _REG_MASK)
+    return Instruction(op, dest=dest, src1=src1, src2=src2, address=address)

@@ -1,0 +1,103 @@
+"""The Instruction record.
+
+Instructions use a fixed, 32-bit format (paper Section 2).  Internally an
+instruction is a small slotted object; its ``address`` is an instruction-word
+index assigned when the program is laid out in memory (one word = 4 bytes).
+Control-flow instructions carry a ``target`` word address, patched during
+layout from the owning basic block's successor labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import (
+    LATENCY_FOR_OP,
+    OpClass,
+    is_control,
+    is_unconditional,
+)
+from repro.isa.registers import NO_REG, reg_name
+
+#: Address value before layout has assigned one.
+UNPLACED = -1
+
+BYTES_PER_INSTRUCTION = 4
+
+
+@dataclass(slots=True, eq=False)
+class Instruction:
+    """A single machine instruction.
+
+    Attributes:
+        op: Operation class.
+        dest: Destination register id, or ``NO_REG``.
+        src1: First source register id, or ``NO_REG``.
+        src2: Second source register id, or ``NO_REG``.
+        address: Instruction-word address; ``UNPLACED`` until layout.
+        target: Control-transfer target word address (branches only);
+            ``UNPLACED`` until layout.  ``RET`` instructions keep
+            ``UNPLACED`` (target depends on the call site).
+        block_id: Id of the owning basic block, assigned by the CFG.
+    """
+
+    op: OpClass
+    dest: int = NO_REG
+    src1: int = NO_REG
+    src2: int = NO_REG
+    address: int = UNPLACED
+    target: int = UNPLACED
+    block_id: int = -1
+
+    @property
+    def is_control(self) -> bool:
+        """True if this instruction can redirect the instruction stream."""
+        return is_control(self.op)
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for conditional branches."""
+        return self.op is OpClass.BR_COND
+
+    @property
+    def is_unconditional(self) -> bool:
+        """True for jumps, calls and returns."""
+        return is_unconditional(self.op)
+
+    @property
+    def is_nop(self) -> bool:
+        return self.op is OpClass.NOP
+
+    @property
+    def latency(self) -> int:
+        """Execution latency in cycles."""
+        return LATENCY_FOR_OP[self.op]
+
+    @property
+    def byte_address(self) -> int:
+        """Byte address of the instruction (4 bytes per instruction)."""
+        return self.address * BYTES_PER_INSTRUCTION
+
+    def sources(self) -> tuple[int, ...]:
+        """Register ids read by this instruction (excludes ``NO_REG``)."""
+        srcs = []
+        if self.src1 != NO_REG:
+            srcs.append(self.src1)
+        if self.src2 != NO_REG:
+            srcs.append(self.src2)
+        return tuple(srcs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.name.lower()]
+        if self.dest != NO_REG:
+            parts.append(reg_name(self.dest))
+        for src in self.sources():
+            parts.append(reg_name(src))
+        loc = f"@{self.address}" if self.address != UNPLACED else "@?"
+        tgt = f"->{self.target}" if self.target != UNPLACED else ""
+        return f"<{' '.join(parts)} {loc}{tgt}>"
+
+
+def nop() -> Instruction:
+    """Construct a fresh ``NOP`` instruction."""
+    return Instruction(OpClass.NOP)

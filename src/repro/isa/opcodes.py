@@ -1,0 +1,91 @@
+"""Operation classes for the simplified 32-bit RISC instruction set.
+
+The paper encodes instructions in a fixed 32-bit format derived from GCC's
+intermediate code after PA-RISC register allocation.  We model the same
+abstraction level: a small set of operation *classes*, each mapped to a
+functional-unit type and an execution latency (paper Table 1: fixed-point
+latency 1, floating-point latency 2, branch latency 1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Operation class of an instruction.
+
+    The class determines which functional unit executes the instruction
+    and its latency.  Control-flow classes (``BR_COND``, ``JUMP``, ``CALL``,
+    ``RET``) execute on branch units.
+    """
+
+    NOP = 0
+    IALU = 1
+    FALU = 2
+    LOAD = 3
+    STORE = 4
+    BR_COND = 5
+    JUMP = 6
+    CALL = 7
+    RET = 8
+
+
+class UnitType(enum.IntEnum):
+    """Functional-unit types of the execution core (paper Figure 1)."""
+
+    FXU = 0
+    FPU = 1
+    BRANCH = 2
+    LOAD_UNIT = 3
+    STORE_BUFFER = 4
+
+
+#: Functional unit executing each operation class.
+UNIT_FOR_OP: dict[OpClass, UnitType] = {
+    OpClass.NOP: UnitType.FXU,
+    OpClass.IALU: UnitType.FXU,
+    OpClass.FALU: UnitType.FPU,
+    OpClass.LOAD: UnitType.LOAD_UNIT,
+    OpClass.STORE: UnitType.STORE_BUFFER,
+    OpClass.BR_COND: UnitType.BRANCH,
+    OpClass.JUMP: UnitType.BRANCH,
+    OpClass.CALL: UnitType.BRANCH,
+    OpClass.RET: UnitType.BRANCH,
+}
+
+#: Execution latency in cycles for each operation class.  Fixed-point and
+#: branch operations take one cycle, floating-point two (paper Table 1).
+#: Loads take two cycles through the load units; data-cache misses are not
+#: modelled (paper Section 2).
+LATENCY_FOR_OP: dict[OpClass, int] = {
+    OpClass.NOP: 1,
+    OpClass.IALU: 1,
+    OpClass.FALU: 2,
+    OpClass.LOAD: 2,
+    OpClass.STORE: 1,
+    OpClass.BR_COND: 1,
+    OpClass.JUMP: 1,
+    OpClass.CALL: 1,
+    OpClass.RET: 1,
+}
+
+#: Operation classes that transfer control.
+CONTROL_OPS: frozenset[OpClass] = frozenset(
+    {OpClass.BR_COND, OpClass.JUMP, OpClass.CALL, OpClass.RET}
+)
+
+#: Control operations that are always taken when executed.
+UNCONDITIONAL_OPS: frozenset[OpClass] = frozenset(
+    {OpClass.JUMP, OpClass.CALL, OpClass.RET}
+)
+
+
+def is_control(op: OpClass) -> bool:
+    """Return True if *op* transfers control."""
+    return op in CONTROL_OPS
+
+
+def is_unconditional(op: OpClass) -> bool:
+    """Return True if *op* always redirects the instruction stream."""
+    return op in UNCONDITIONAL_OPS

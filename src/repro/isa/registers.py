@@ -1,0 +1,49 @@
+"""Architectural register name space.
+
+A single flat space of 64 registers is used: integer registers ``r0``-``r31``
+occupy ids 0-31 and floating-point registers ``f0``-``f31`` ids 32-63.  A
+flat space keeps Tomasulo renaming uniform across both files while still
+letting workload generators draw from the appropriate class.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Sentinel meaning "no register operand".
+NO_REG = -1
+
+INT_REG_BASE = 0
+FP_REG_BASE = NUM_INT_REGS
+
+
+def int_reg(index: int) -> int:
+    """Return the flat register id of integer register ``r<index>``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return INT_REG_BASE + index
+
+
+def fp_reg(index: int) -> int:
+    """Return the flat register id of floating-point register ``f<index>``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_REG_BASE + index
+
+
+def is_fp_reg(reg: int) -> bool:
+    """Return True if the flat register id names a floating-point register."""
+    return FP_REG_BASE <= reg < NUM_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name of a flat register id."""
+    if reg == NO_REG:
+        return "-"
+    if not 0 <= reg < NUM_REGS:
+        raise ValueError(f"register id out of range: {reg}")
+    if is_fp_reg(reg):
+        return f"f{reg - FP_REG_BASE}"
+    return f"r{reg}"

@@ -1,0 +1,23 @@
+"""Machine models (paper Table 1)."""
+
+from repro.machines.config import MachineConfig
+from repro.machines.presets import (
+    MACHINES,
+    MACHINES_BY_NAME,
+    PI4,
+    PI8,
+    PI12,
+    PI16,
+    get_machine,
+)
+
+__all__ = [
+    "MACHINES",
+    "MACHINES_BY_NAME",
+    "MachineConfig",
+    "PI4",
+    "PI8",
+    "PI12",
+    "PI16",
+    "get_machine",
+]

@@ -1,0 +1,111 @@
+"""Machine model configuration (paper Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.isa.instruction import BYTES_PER_INSTRUCTION
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """Parameters of one simulated microarchitecture.
+
+    The paper fixes issue rate, window size, I-cache geometry, functional
+    unit counts and speculation depth per machine (Table 1); the remaining
+    fields are parameters the paper leaves unstated, with documented
+    defaults (see DESIGN.md section 4).
+    """
+
+    name: str
+    issue_rate: int
+    window_size: int
+    icache_bytes: int
+    icache_block_bytes: int
+    num_fxu: int
+    num_fpu: int
+    num_branch_units: int
+    speculation_depth: int
+    # -- parameters the paper leaves unstated (documented defaults) --
+    btb_entries: int = 1024
+    fetch_penalty: int = 2
+    icache_miss_latency: int = 10
+    rob_factor: int = 4
+    num_load_units: int = -1  # -1: same as num_fxu
+    num_store_buffers: int = -1  # -1: same as num_fxu
+    #: If True, misprediction recovery waits until the faulting branch
+    #: *retires* from the reorder buffer (the literal reading of the
+    #: paper's footnote 1); default is recovery at branch resolution
+    #: (writeback), the conventional Tomasulo redirect point.
+    recovery_at_retire: bool = False
+    #: Memory-dependence policy.  The paper does not model the data
+    #: cache; by default loads and stores order only through registers
+    #: ("none").  "conservative" makes every load (and store) wait for
+    #: the previous store to complete — no disambiguation hardware.
+    memory_ordering: str = "none"
+    #: Depth of the fetch/decode decoupling queue in fetch groups
+    #: (paper §1: commercial designs "decouple the instruction fetch
+    #: unit from the execution unit via queues").  Depth 1 means fetch
+    #: waits for the previous group to fully dispatch.
+    fetch_queue_groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.issue_rate <= 0:
+            raise ValueError("issue rate must be positive")
+        if self.icache_block_bytes % BYTES_PER_INSTRUCTION:
+            raise ValueError("cache block must hold whole instructions")
+        if self.icache_block_bytes < self.issue_rate * BYTES_PER_INSTRUCTION:
+            # Paper Table 1: the block holds the issue rate of instructions
+            # (rounded up to a power of two for PI12: 12 -> 64B/16 words).
+            raise ValueError(
+                "cache block must hold at least the issue rate in instructions "
+                f"(got {self.icache_block_bytes}B for issue {self.issue_rate})"
+            )
+        if self.window_size < self.issue_rate:
+            raise ValueError("window must hold at least one issue group")
+        if self.speculation_depth < 1:
+            raise ValueError("speculation depth must be at least 1")
+        if self.memory_ordering not in ("none", "conservative"):
+            raise ValueError(
+                f"unknown memory ordering: {self.memory_ordering!r}"
+            )
+        if self.fetch_queue_groups < 1:
+            raise ValueError("fetch queue must hold at least one group")
+
+    @property
+    def words_per_block(self) -> int:
+        """Instructions per cache block (>= issue rate; 16 for PI12)."""
+        return self.icache_block_bytes // BYTES_PER_INSTRUCTION
+
+    @property
+    def rob_size(self) -> int:
+        """Reorder buffer entries."""
+        return self.rob_factor * self.window_size
+
+    @property
+    def retire_width(self) -> int:
+        """Instructions retired per cycle (the issue rate)."""
+        return self.issue_rate
+
+    @property
+    def load_units(self) -> int:
+        return self.num_load_units if self.num_load_units > 0 else self.num_fxu
+
+    @property
+    def store_buffers(self) -> int:
+        return self.num_store_buffers if self.num_store_buffers > 0 else self.num_fxu
+
+    @property
+    def num_result_buses(self) -> int:
+        """Result buses equal the total function unit count (paper §2)."""
+        return (
+            self.num_fxu
+            + self.num_fpu
+            + self.num_branch_units
+            + self.load_units
+            + self.store_buffers
+        )
+
+    def with_fetch_penalty(self, penalty: int) -> "MachineConfig":
+        """A copy with a different fetch misprediction penalty (Figure 11)."""
+        return replace(self, fetch_penalty=penalty)

@@ -1,0 +1,5 @@
+"""Instruction-memory hierarchy: the direct-mapped banked I-cache."""
+
+from repro.memory.icache import CacheStats, InstructionCache
+
+__all__ = ["CacheStats", "InstructionCache"]

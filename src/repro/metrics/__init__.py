@@ -1,0 +1,27 @@
+"""Metrics: aggregation helpers and dynamic branch statistics."""
+
+from repro.metrics.chart import BarGroup, bar_chart, result_chart
+from repro.metrics.branches import (
+    TakenBranchStats,
+    taken_branch_reduction,
+    taken_branch_stats,
+)
+from repro.metrics.summary import (
+    arithmetic_mean,
+    format_table,
+    harmonic_mean,
+    percent,
+)
+
+__all__ = [
+    "BarGroup",
+    "TakenBranchStats",
+    "bar_chart",
+    "arithmetic_mean",
+    "format_table",
+    "harmonic_mean",
+    "percent",
+    "result_chart",
+    "taken_branch_reduction",
+    "taken_branch_stats",
+]

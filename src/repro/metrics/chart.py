@@ -1,0 +1,109 @@
+"""ASCII bar charts for rendering the paper's figures in a terminal.
+
+The experiment harness produces tables; the figure-type artifacts
+(Figures 3, 9-13) read better as grouped bar charts, which is how the
+paper prints them.  ``bar_chart`` renders one group of labelled values
+per row, scaled to a common axis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+#: Glyph used for bar bodies.
+BAR = "█"
+HALF = "▌"
+
+
+@dataclass(slots=True)
+class BarGroup:
+    """One labelled group of bars (e.g. one machine model)."""
+
+    label: str
+    values: list[float]
+
+
+def bar_chart(
+    series_names: Sequence[str],
+    groups: Sequence[BarGroup],
+    width: int = 46,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render grouped horizontal bars.
+
+    Args:
+        series_names: Name of each bar within a group (legend order).
+        groups: The groups, each carrying one value per series.
+        width: Character width of the longest bar.
+        title: Optional chart title.
+        unit: Suffix printed after each value (e.g. ``" IPC"``).
+    """
+    if not groups:
+        raise ValueError("no groups to chart")
+    for group in groups:
+        if len(group.values) != len(series_names):
+            raise ValueError(
+                f"group {group.label!r} has {len(group.values)} values for "
+                f"{len(series_names)} series"
+            )
+    peak = max(max(group.values) for group in groups)
+    if peak <= 0:
+        raise ValueError("chart values must include a positive maximum")
+
+    name_width = max(len(name) for name in series_names)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    for group in groups:
+        lines.append(f"{group.label}:")
+        for name, value in zip(series_names, group.values):
+            cells = value / peak * width
+            body = BAR * int(cells)
+            if cells - int(cells) >= 0.5:
+                body += HALF
+            lines.append(
+                f"  {name.rjust(name_width)} |{body.ljust(width)} "
+                f"{value:.2f}{unit}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def result_chart(
+    result,
+    label: str | None = None,
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render an :class:`~repro.experiments.common.ExperimentResult` whose
+    numeric columns form one bar group per row.
+
+    Leading non-numeric columns become group labels; the remaining
+    headers are the series names.  *columns* optionally restricts the
+    charted series by header name (e.g. to drop a "gap %" column whose
+    unit differs from the rest).
+    """
+    first_numeric = None
+    for index, value in enumerate(result.rows[0]):
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            first_numeric = index
+            break
+    if first_numeric is None:
+        raise ValueError("result has no numeric columns to chart")
+    indices = list(range(first_numeric, len(result.headers)))
+    if columns is not None:
+        wanted = set(columns)
+        indices = [i for i in indices if str(result.headers[i]) in wanted]
+        if not indices:
+            raise ValueError("no requested columns found in the result")
+    series = [str(result.headers[i]) for i in indices]
+    groups = [
+        BarGroup(
+            label=" ".join(str(cell) for cell in row[:first_numeric]),
+            values=[float(row[i]) for i in indices],
+        )
+        for row in result.rows
+    ]
+    return bar_chart(series, groups, title=label or result.title)

@@ -1,0 +1,57 @@
+"""Aggregation and tabulation helpers for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean (the paper's aggregate for per-benchmark IPC).
+
+    Raises ``ValueError`` on an empty or non-positive input.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a plain-text table (monospace, right-aligned numbers)."""
+    cells = [[str(h) for h in headers]] + [
+        [
+            f"{value:.2f}" if isinstance(value, float) else str(value)
+            for value in row
+        ]
+        for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+
+    def render(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render(cells[0]))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def percent(numerator: float, denominator: float) -> float:
+    """Percentage with a zero-denominator guard."""
+    return 100.0 * numerator / denominator if denominator else 0.0

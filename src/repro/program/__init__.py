@@ -1,0 +1,19 @@
+"""Program representation: basic blocks, CFG, layout, and a builder."""
+
+from repro.program.basic_block import NO_BLOCK, BasicBlock, TermKind
+from repro.program.builder import BuildError, ProgramBuilder
+from repro.program.cfg import ControlFlowGraph, Function
+from repro.program.program import LayoutError, Program, clone_cfg
+
+__all__ = [
+    "BasicBlock",
+    "BuildError",
+    "ControlFlowGraph",
+    "Function",
+    "LayoutError",
+    "NO_BLOCK",
+    "Program",
+    "ProgramBuilder",
+    "TermKind",
+    "clone_cfg",
+]

@@ -1,0 +1,126 @@
+"""Basic blocks and their terminators.
+
+A basic block is a straight-line sequence of non-control instructions
+(``body``) followed by at most one control instruction (``terminator``).
+Successor relationships are kept at the block level so the compiler passes
+(trace layout, padding) can rearrange code without re-deriving control flow
+from instruction addresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+
+#: Sentinel for "no successor block".
+NO_BLOCK = -1
+
+
+class TermKind(enum.IntEnum):
+    """How control leaves a basic block."""
+
+    FALLTHROUGH = 0  #: no control instruction; run into the next block
+    COND = 1  #: conditional branch: taken -> ``taken_id``, else ``fall_id``
+    JUMP = 2  #: unconditional jump to ``taken_id``
+    CALL = 3  #: call ``taken_id``; resume at ``fall_id`` on return
+    RET = 4  #: return to caller (or halt from the entry function)
+
+
+_TERM_OPS = {
+    TermKind.COND: OpClass.BR_COND,
+    TermKind.JUMP: OpClass.JUMP,
+    TermKind.CALL: OpClass.CALL,
+    TermKind.RET: OpClass.RET,
+}
+
+
+@dataclass(slots=True, eq=False)
+class BasicBlock:
+    """One basic block of a program.
+
+    Attributes:
+        block_id: Dense integer id, assigned by the CFG.
+        func_id: Id of the owning function.
+        body: Non-control instructions in program order.
+        term_kind: How control leaves the block.
+        terminator: The control instruction, or ``None`` for FALLTHROUGH.
+        taken_id: Successor when the terminator transfers control
+            (COND taken, JUMP, CALL target).
+        fall_id: Successor on the sequential path (FALLTHROUGH, COND
+            not-taken, the return continuation of a CALL).
+        branch_key: Stable identity of a conditional branch for the
+            behaviour model; survives code reordering.
+        flipped: True if trace layout inverted the branch condition, so
+            the behaviour model must invert its taken probability.
+        is_func_entry: True for the first block of a function.
+    """
+
+    block_id: int = NO_BLOCK
+    func_id: int = -1
+    body: list[Instruction] = field(default_factory=list)
+    term_kind: TermKind = TermKind.FALLTHROUGH
+    terminator: Instruction | None = None
+    taken_id: int = NO_BLOCK
+    fall_id: int = NO_BLOCK
+    branch_key: int = -1
+    flipped: bool = False
+    is_func_entry: bool = False
+
+    def validate(self) -> None:
+        """Check internal consistency; raise ``ValueError`` on violation."""
+        for instr in self.body:
+            if instr.is_control:
+                raise ValueError("control instruction inside block body")
+        if self.term_kind is TermKind.FALLTHROUGH:
+            if self.terminator is not None:
+                raise ValueError("FALLTHROUGH block must not have a terminator")
+            if self.fall_id == NO_BLOCK:
+                raise ValueError("FALLTHROUGH block needs a fall_id")
+        else:
+            if self.terminator is None:
+                raise ValueError(f"{self.term_kind.name} block needs a terminator")
+            expected = _TERM_OPS[self.term_kind]
+            if self.terminator.op is not expected:
+                raise ValueError(
+                    f"terminator op {self.terminator.op.name} does not match "
+                    f"kind {self.term_kind.name}"
+                )
+        if self.term_kind is TermKind.COND:
+            if self.taken_id == NO_BLOCK or self.fall_id == NO_BLOCK:
+                raise ValueError("COND block needs taken_id and fall_id")
+        if self.term_kind in (TermKind.JUMP, TermKind.CALL):
+            if self.taken_id == NO_BLOCK:
+                raise ValueError(f"{self.term_kind.name} block needs taken_id")
+        if self.term_kind is TermKind.CALL and self.fall_id == NO_BLOCK:
+            raise ValueError("CALL block needs a return continuation fall_id")
+        if not self.body and self.terminator is None:
+            raise ValueError("empty basic block")
+
+    @property
+    def instructions(self) -> list[Instruction]:
+        """Body plus terminator, in program order."""
+        if self.terminator is None:
+            return list(self.body)
+        return [*self.body, self.terminator]
+
+    @property
+    def size(self) -> int:
+        """Number of instructions in the block."""
+        return len(self.body) + (1 if self.terminator is not None else 0)
+
+    def successors(self) -> tuple[int, ...]:
+        """Static successor block ids (CALL reports the callee entry)."""
+        if self.term_kind is TermKind.FALLTHROUGH:
+            return (self.fall_id,)
+        if self.term_kind is TermKind.COND:
+            return (self.taken_id, self.fall_id)
+        if self.term_kind in (TermKind.JUMP, TermKind.CALL):
+            return (self.taken_id,)
+        return ()
+
+    def taken_probability(self, base_probability: float) -> float:
+        """Effective taken probability given the block's flip state."""
+        return 1.0 - base_probability if self.flipped else base_probability

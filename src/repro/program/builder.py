@@ -1,0 +1,246 @@
+"""A structured builder for constructing programs.
+
+The builder offers a linear, assembler-like API with labels and forward
+references.  Blocks are laid out in creation order, which automatically
+satisfies the fall-through invariant.  Conditional branches carry a *taken
+probability* used by the workload behaviour model; the builder collects
+these into :attr:`ProgramBuilder.branch_probabilities`.
+
+Example::
+
+    b = ProgramBuilder("demo")
+    b.begin_function("main")
+    loop = b.new_label()
+    b.bind(loop)
+    b.ialu(1, 1, 2)
+    b.branch_if(1, loop, probability=0.9)   # loop back 90% of the time
+    b.ret()
+    b.end_function()
+    program = b.finish()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NO_REG
+from repro.program.basic_block import NO_BLOCK, BasicBlock, TermKind
+from repro.program.cfg import ControlFlowGraph, Function
+from repro.program.program import Program
+
+
+class BuildError(ValueError):
+    """Raised on invalid builder usage."""
+
+
+@dataclass(slots=True)
+class _PendingTarget:
+    """A terminator whose taken target is a label or function name."""
+
+    block_id: int
+    label: int | None = None
+    func_name: str | None = None
+
+
+class ProgramBuilder:
+    """Incrementally construct a :class:`~repro.program.program.Program`."""
+
+    def __init__(self, name: str = "program", base_address: int = 0) -> None:
+        self.name = name
+        self.base_address = base_address
+        self.cfg = ControlFlowGraph()
+        #: taken probability per branch key, consumed by behaviour models.
+        self.branch_probabilities: dict[int, float] = {}
+        #: repeat correlation per branch key (see BranchBehavior.burstiness).
+        self.branch_burstiness: dict[int, float] = {}
+        self._order: list[int] = []
+        self._current_func: Function | None = None
+        self._current_body: list[Instruction] = []
+        self._current_block_open = False
+        self._label_to_block: dict[int, int] = {}
+        self._next_label = 0
+        self._pending: list[_PendingTarget] = []
+        self._pending_labels: list[int] = []
+
+    # -- functions ----------------------------------------------------------
+
+    def begin_function(self, name: str) -> Function:
+        if self._current_func is not None:
+            raise BuildError("previous function not ended")
+        self._current_func = self.cfg.add_function(name)
+        self._open_block()
+        return self._current_func
+
+    def end_function(self) -> None:
+        if self._current_func is None:
+            raise BuildError("no function in progress")
+        if self._current_block_open:
+            raise BuildError(
+                f"function {self._current_func.name!r} does not end in a "
+                "control transfer"
+            )
+        self._current_func = None
+
+    # -- labels ---------------------------------------------------------------
+
+    def new_label(self) -> int:
+        """Allocate a fresh label for later :meth:`bind`."""
+        label = self._next_label
+        self._next_label += 1
+        return label
+
+    def bind(self, label: int) -> None:
+        """Bind *label* to the next instruction emitted."""
+        if label in self._label_to_block:
+            raise BuildError(f"label {label} bound twice")
+        self._require_function()
+        if not self._current_block_open:
+            self._open_block()
+        elif self._current_body:
+            # End the running block; it falls through into the labelled one.
+            sealed = self._seal_block(TermKind.FALLTHROUGH, None)
+            self._open_block()
+            self.cfg.block(sealed).fall_id = self._current_block_id
+        self._pending_labels.append(label)
+
+    # -- instruction emission -------------------------------------------------
+
+    def emit(self, instr: Instruction) -> None:
+        """Append a non-control instruction to the current block."""
+        if instr.is_control:
+            raise BuildError("use branch_if/jump/call/ret for control flow")
+        self._require_open_block()
+        self._current_body.append(instr)
+        self._commit_labels()
+
+    def ialu(self, dest: int, src1: int = NO_REG, src2: int = NO_REG) -> None:
+        self.emit(Instruction(OpClass.IALU, dest=dest, src1=src1, src2=src2))
+
+    def falu(self, dest: int, src1: int = NO_REG, src2: int = NO_REG) -> None:
+        self.emit(Instruction(OpClass.FALU, dest=dest, src1=src1, src2=src2))
+
+    def load(self, dest: int, addr_reg: int = NO_REG) -> None:
+        self.emit(Instruction(OpClass.LOAD, dest=dest, src1=addr_reg))
+
+    def store(self, value_reg: int, addr_reg: int = NO_REG) -> None:
+        self.emit(Instruction(OpClass.STORE, src1=value_reg, src2=addr_reg))
+
+    def nop(self) -> None:
+        self.emit(Instruction(OpClass.NOP))
+
+    # -- control flow -----------------------------------------------------------
+
+    def branch_if(
+        self,
+        cond_reg: int,
+        label: int,
+        probability: float = 0.5,
+        burstiness: float = 0.0,
+    ) -> None:
+        """End the block with a conditional branch to *label*.
+
+        *probability* is the long-run chance the branch is taken;
+        *burstiness* is the repeat correlation of consecutive outcomes
+        (see :class:`~repro.workloads.behavior.BranchBehavior`).  Both are
+        keyed by the block's branch key for the behaviour model.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise BuildError(f"probability out of range: {probability}")
+        if not 0.0 <= burstiness < 1.0:
+            raise BuildError(f"burstiness out of range: {burstiness}")
+        self._require_open_block()
+        term = Instruction(OpClass.BR_COND, src1=cond_reg)
+        block_id = self._seal_block(TermKind.COND, term)
+        self._pending.append(_PendingTarget(block_id, label=label))
+        key = self.cfg.block(block_id).branch_key
+        self.branch_probabilities[key] = probability
+        self.branch_burstiness[key] = burstiness
+        self._open_block()
+        self.cfg.block(block_id).fall_id = self._current_block_id
+
+    def jump(self, label: int) -> None:
+        """End the block with an unconditional jump to *label*."""
+        self._require_open_block()
+        term = Instruction(OpClass.JUMP)
+        block_id = self._seal_block(TermKind.JUMP, term)
+        self._pending.append(_PendingTarget(block_id, label=label))
+        self._current_block_open = False
+
+    def call(self, func_name: str) -> None:
+        """End the block with a call to function *func_name*."""
+        self._require_open_block()
+        term = Instruction(OpClass.CALL)
+        block_id = self._seal_block(TermKind.CALL, term)
+        self._pending.append(_PendingTarget(block_id, func_name=func_name))
+        self._open_block()
+        self.cfg.block(block_id).fall_id = self._current_block_id
+
+    def ret(self) -> None:
+        """End the block with a return."""
+        self._require_open_block()
+        term = Instruction(OpClass.RET)
+        self._seal_block(TermKind.RET, term)
+        self._current_block_open = False
+
+    # -- finish -----------------------------------------------------------------
+
+    def finish(self) -> Program:
+        """Resolve forward references and lay out the program."""
+        if self._current_func is not None:
+            raise BuildError(
+                f"function {self._current_func.name!r} not ended"
+            )
+        by_name = {f.name: f for f in self.cfg.functions}
+        for pending in self._pending:
+            block = self.cfg.block(pending.block_id)
+            if pending.func_name is not None:
+                func = by_name.get(pending.func_name)
+                if func is None:
+                    raise BuildError(f"call to unknown function {pending.func_name!r}")
+                block.taken_id = func.entry_id
+            else:
+                target = self._label_to_block.get(pending.label)
+                if target is None:
+                    raise BuildError(f"label {pending.label} never bound")
+                block.taken_id = target
+        return Program.from_order(
+            self.cfg, self._order, base_address=self.base_address, name=self.name
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    @property
+    def _current_block_id(self) -> int:
+        return self._order[-1]
+
+    def _require_function(self) -> None:
+        if self._current_func is None:
+            raise BuildError("no function in progress")
+
+    def _require_open_block(self) -> None:
+        self._require_function()
+        if not self._current_block_open:
+            self._open_block()
+
+    def _open_block(self) -> None:
+        block = BasicBlock()
+        self.cfg.add_block(block, self._current_func)
+        self._order.append(block.block_id)
+        self._current_body = block.body
+        self._current_block_open = True
+
+    def _commit_labels(self) -> None:
+        """Attach labels waiting for the first instruction of this block."""
+        for label in self._pending_labels:
+            self._label_to_block[label] = self._current_block_id
+        self._pending_labels.clear()
+
+    def _seal_block(self, kind: TermKind, terminator: Instruction | None) -> int:
+        self._commit_labels()
+        block = self.cfg.block(self._current_block_id)
+        block.term_kind = kind
+        block.terminator = terminator
+        self._current_block_open = False
+        return block.block_id

@@ -1,0 +1,103 @@
+"""Control-flow graph: the set of basic blocks plus function structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.basic_block import NO_BLOCK, BasicBlock, TermKind
+
+
+@dataclass(slots=True)
+class Function:
+    """A function: a named region of blocks with a single entry block."""
+
+    func_id: int
+    name: str
+    entry_id: int = NO_BLOCK
+    block_ids: list[int] = field(default_factory=list)
+
+
+class ControlFlowGraph:
+    """Whole-program control-flow graph.
+
+    Blocks are owned by the CFG and addressed by dense integer ids.  The
+    entry function's entry block is where execution starts; a ``RET`` with
+    an empty call stack halts the program.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: list[BasicBlock] = []
+        self._functions: list[Function] = []
+        self.entry_func_id: int = -1
+
+    # -- construction -----------------------------------------------------
+
+    def add_function(self, name: str) -> Function:
+        """Create a new function and return it."""
+        func = Function(func_id=len(self._functions), name=name)
+        self._functions.append(func)
+        if self.entry_func_id < 0:
+            self.entry_func_id = func.func_id
+        return func
+
+    def add_block(self, block: BasicBlock, func: Function) -> int:
+        """Install *block* into *func*; assigns and returns its id."""
+        block.block_id = len(self._blocks)
+        block.func_id = func.func_id
+        if block.branch_key < 0:
+            block.branch_key = block.block_id
+        self._blocks.append(block)
+        func.block_ids.append(block.block_id)
+        if func.entry_id == NO_BLOCK:
+            func.entry_id = block.block_id
+            block.is_func_entry = True
+        return block.block_id
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def blocks(self) -> list[BasicBlock]:
+        return self._blocks
+
+    @property
+    def functions(self) -> list[Function]:
+        return self._functions
+
+    def block(self, block_id: int) -> BasicBlock:
+        return self._blocks[block_id]
+
+    def function(self, func_id: int) -> Function:
+        return self._functions[func_id]
+
+    @property
+    def entry_block_id(self) -> int:
+        """Block id where execution starts."""
+        if self.entry_func_id < 0:
+            raise ValueError("CFG has no functions")
+        return self._functions[self.entry_func_id].entry_id
+
+    def num_instructions(self) -> int:
+        """Total static instruction count."""
+        return sum(block.size for block in self._blocks)
+
+    def conditional_blocks(self) -> list[BasicBlock]:
+        """All blocks ending in a conditional branch."""
+        return [b for b in self._blocks if b.term_kind is TermKind.COND]
+
+    def validate(self) -> None:
+        """Validate every block and all successor references."""
+        n = len(self._blocks)
+        for block in self._blocks:
+            block.validate()
+            for succ in block.successors():
+                if not 0 <= succ < n:
+                    raise ValueError(
+                        f"block {block.block_id} references unknown block {succ}"
+                    )
+            if block.term_kind is TermKind.CALL:
+                callee = self._blocks[block.taken_id]
+                if not callee.is_func_entry:
+                    raise ValueError(
+                        f"block {block.block_id} calls non-entry block "
+                        f"{block.taken_id}"
+                    )

@@ -1,0 +1,33 @@
+"""Simulation driver: simulator, statistics, and runners."""
+
+from repro.sim.batch import SimJob, run_batch, suite_jobs
+from repro.sim.eir import EIRResult, measure_eir
+from repro.sim.pipetrace import CycleEvents, PipeTrace, trace_pipeline
+from repro.sim.runner import (
+    DEFAULT_TRACE_LENGTH,
+    DEFAULT_WARMUP,
+    run_program,
+    run_trace,
+    run_workload,
+)
+from repro.sim.simulator import SimulationDeadlock, Simulator
+from repro.sim.stats import SimStats
+
+__all__ = [
+    "DEFAULT_TRACE_LENGTH",
+    "EIRResult",
+    "CycleEvents",
+    "PipeTrace",
+    "SimJob",
+    "measure_eir",
+    "DEFAULT_WARMUP",
+    "SimStats",
+    "SimulationDeadlock",
+    "Simulator",
+    "run_batch",
+    "run_program",
+    "run_trace",
+    "run_workload",
+    "suite_jobs",
+    "trace_pipeline",
+]

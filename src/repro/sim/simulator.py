@@ -1,0 +1,252 @@
+"""Cycle-level simulator: fetch scheme + out-of-order core.
+
+Each cycle runs, in reverse pipeline order: retire, writeback (branch
+resolution, BTB training, misprediction restart), fire, dispatch from the
+fetch queue (speculation-depth and window gating), and fetch.  Fetch is
+stalled while
+
+* a fetch-flagged mispredicted branch is unresolved (it resumes
+  ``fetch_penalty`` cycles after resolution),
+* an I-cache miss is outstanding, or
+* the decoupling queue is full (``fetch_queue_groups`` fetch groups of
+  backlog — depth 1 means fetch waits for the previous group to fully
+  dispatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import ExecutionCore
+from repro.core.rob import ROBEntry
+from repro.fetch.base import FetchUnit
+from repro.fetch.factory import create_fetch_unit
+from repro.machines.config import MachineConfig
+from repro.sim.stats import SimStats
+from repro.workloads.trace import DynamicTrace
+
+
+class SimulationDeadlock(RuntimeError):
+    """The simulation stopped making progress (indicates a model bug)."""
+
+
+@dataclass(slots=True)
+class _QueuedInstruction:
+    """A delivered instruction waiting to dispatch."""
+
+    trace_index: int
+    fetch_mispredicted: bool
+
+
+class Simulator:
+    """Drives one (trace, machine, fetch scheme) simulation."""
+
+    #: Safety factor: a run may not exceed this many cycles per traced
+    #: instruction before being declared deadlocked.
+    MAX_CPI = 200
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        trace: DynamicTrace,
+        scheme: str | FetchUnit,
+        warmup: int = 0,
+        prewarm_cache: bool = True,
+        wrong_path_fetch: bool = False,
+    ) -> None:
+        """Set up a run.
+
+        *warmup* instructions at the head of the trace are simulated but
+        excluded from the reported statistics — they warm the BTB and the
+        pipeline.  With *prewarm_cache* (default) the I-cache is first
+        swept with the program's footprint, so only steady-state
+        (capacity/conflict) misses remain.  Both approximate the paper's
+        full-benchmark runs, where cold-start effects vanish; disable them
+        to study cold-start behaviour.
+
+        With *wrong_path_fetch*, fetch keeps running down the predicted
+        (wrong) path while a misprediction resolves, modelling the
+        I-cache pollution real speculation causes (off by default: the
+        correct-path timeline is identical either way, only cache state
+        differs).
+        """
+        self.config = config
+        self.trace = trace
+        if isinstance(scheme, FetchUnit):
+            self.fetch_unit = scheme
+        else:
+            self.fetch_unit = create_fetch_unit(scheme, config, trace)
+        self.core = ExecutionCore(config)
+        self.warmup = min(max(0, warmup), len(trace.instructions) // 2)
+        self.wrong_path_fetch = wrong_path_fetch
+        self.wrong_path_cycles = 0
+        self._snapshot: dict[str, int] | None = None
+        if prewarm_cache and trace.instructions:
+            self._prewarm_icache()
+
+    def _prewarm_icache(self) -> None:
+        """Sweep the program's address range through the I-cache in layout
+        order (a capacity-exceeding program keeps only the last-filled
+        conflicting blocks, as in steady state)."""
+        cache = self.fetch_unit.cache
+        addresses = [i.address for i in self.trace.instructions]
+        first_block = cache.block_index(min(addresses))
+        last_block = cache.block_index(max(addresses))
+        for block in range(first_block, last_block + 1):
+            cache.fill(block)
+
+    def run(self) -> SimStats:
+        """Simulate to completion and return the statistics."""
+        config = self.config
+        core = self.core
+        fetch = self.fetch_unit
+        trace = self.trace
+        instructions = trace.instructions
+        total = len(instructions)
+
+        cycle = 0
+        position = 0  # next trace index to fetch
+        queue: list[_QueuedInstruction] = []
+        fetch_blocked_until = 0  # cache-miss stalls / misprediction restart
+        # True while a fetch-flagged mispredicted branch is unresolved; at
+        # most one can be outstanding because fetch stalls after flagging.
+        waiting_for_resolution = False
+        wrong_path_address = -1
+        max_cycles = max(10_000, self.MAX_CPI * total)
+
+        while core.retired_count < total:
+            if cycle > max_cycles:
+                raise SimulationDeadlock(
+                    f"no forward progress after {cycle} cycles "
+                    f"({core.retired_count}/{total} retired)"
+                )
+            if self._snapshot is None and core.retired_count >= self.warmup:
+                self._snapshot = self._counters(cycle)
+
+            for entry in core.do_retire(cycle):
+                if entry.fetch_mispredicted and config.recovery_at_retire:
+                    waiting_for_resolution = False
+                    fetch_blocked_until = max(
+                        fetch_blocked_until, cycle + config.fetch_penalty
+                    )
+
+            for entry in core.do_writeback(cycle):
+                instr = entry.instruction
+                if instr.is_control:
+                    fetch.train(instr, entry.actual_taken, entry.actual_target)
+                if entry.fetch_mispredicted and not config.recovery_at_retire:
+                    waiting_for_resolution = False
+                    fetch_blocked_until = max(
+                        fetch_blocked_until, cycle + config.fetch_penalty
+                    )
+
+            core.do_fire(cycle)
+
+            while queue:
+                queued = queue[0]
+                instr = instructions[queued.trace_index]
+                if not core.can_dispatch(instr):
+                    break
+                taken = trace.is_taken(queued.trace_index)
+                target = trace.next_address(queued.trace_index)
+                core.dispatch(
+                    instr,
+                    queued.trace_index,
+                    fetch_mispredicted=queued.fetch_mispredicted,
+                    actual_taken=taken,
+                    actual_target=target,
+                )
+                queue.pop(0)
+
+            queue_capacity = (
+                config.fetch_queue_groups * config.issue_rate
+            )
+            if (
+                len(queue) + config.issue_rate <= queue_capacity
+                and not waiting_for_resolution
+                and cycle >= fetch_blocked_until
+                and position < total
+            ):
+                result = fetch.fetch_cycle(position, config.issue_rate)
+                if result.stall_cycles:
+                    fetch_blocked_until = cycle + result.stall_cycles
+                elif result.instructions:
+                    count = len(result.instructions)
+                    for offset in range(count):
+                        queue.append(
+                            _QueuedInstruction(position + offset, False)
+                        )
+                    if result.mispredict:
+                        queue[-1].fetch_mispredicted = True
+                        waiting_for_resolution = True
+                        if self.wrong_path_fetch:
+                            # Hardware would continue down the predicted
+                            # (wrong) path; follow it for its cache
+                            # side effects only.
+                            last = result.instructions[-1]
+                            prediction = fetch.predict_slot(last.address)
+                            wrong_path_address = (
+                                prediction.target
+                                if prediction.taken
+                                else last.address + 1
+                            )
+                    position += count
+            elif waiting_for_resolution and wrong_path_address >= 0:
+                wrong_path_address = fetch.wrong_path_cycle(
+                    wrong_path_address, config.issue_rate
+                )
+                self.wrong_path_cycles += 1
+
+            if not waiting_for_resolution:
+                wrong_path_address = -1
+
+            cycle += 1
+
+        return self._collect_stats(cycle)
+
+    # -- statistics --------------------------------------------------------------
+
+    def _counters(self, cycle: int) -> dict[str, int]:
+        """Snapshot of every cumulative counter the stats are derived from."""
+        fetch = self.fetch_unit
+        core = self.core
+        return {
+            "cycles": cycle,
+            "retired": core.retired_count,
+            "delivered": fetch.stats.delivered,
+            "fetch_mispredicts": fetch.stats.mispredicts,
+            "fetch_cache_accesses": fetch.cache.stats.accesses,
+            "fetch_cache_misses": fetch.cache.stats.misses,
+            "btb_lookups": fetch.btb.stats.lookups,
+            "btb_hits": fetch.btb.stats.hits,
+            "speculation_stalls": core.stats.speculation_stalls,
+            "window_full_stalls": core.stats.window_full_stalls,
+        }
+
+    def _collect_stats(self, cycles: int) -> SimStats:
+        trace = self.trace
+        end = self._counters(cycles)
+        start = self._snapshot or dict.fromkeys(end, 0)
+        delta = {key: end[key] - start[key] for key in end}
+
+        # Dynamic branch/nop statistics over the measured region.
+        measured = trace.instructions[start["retired"] :]
+        offset = start["retired"]
+        branches = taken = nops = 0
+        for i, instr in enumerate(measured):
+            if instr.is_control:
+                branches += 1
+                if trace.is_taken(offset + i):
+                    taken += 1
+            elif instr.is_nop:
+                nops += 1
+
+        return SimStats(
+            benchmark=trace.name,
+            machine=self.config.name,
+            scheme=self.fetch_unit.name,
+            dynamic_branches=branches,
+            dynamic_taken_branches=taken,
+            retired_nops=nops,
+            **delta,
+        )

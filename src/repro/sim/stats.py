@@ -1,0 +1,82 @@
+"""Simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class SimStats:
+    """Outcome of one simulation run.
+
+    The paper's two headline metrics:
+
+    * **IPC** — instructions retired per cycle (``retired / cycles``);
+    * **EIR** — effective issue rate: instructions successfully supplied
+      to the decoders per cycle (``delivered / cycles``).
+    """
+
+    benchmark: str
+    machine: str
+    scheme: str
+    cycles: int = 0
+    retired: int = 0
+    delivered: int = 0
+    fetch_mispredicts: int = 0
+    fetch_cache_accesses: int = 0
+    fetch_cache_misses: int = 0
+    btb_lookups: int = 0
+    btb_hits: int = 0
+    dynamic_branches: int = 0
+    dynamic_taken_branches: int = 0
+    retired_nops: int = 0
+    speculation_stalls: int = 0
+    window_full_stalls: int = 0
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions retired per cycle."""
+        return self.retired / self.cycles if self.cycles else 0.0
+
+    @property
+    def eir(self) -> float:
+        """Effective issue rate (delivered instructions per cycle)."""
+        return self.delivered / self.cycles if self.cycles else 0.0
+
+    @property
+    def useful_ipc(self) -> float:
+        """IPC excluding nops — the honest metric for padded programs
+        (inserted nops retire but do no work)."""
+        if not self.cycles:
+            return 0.0
+        return (self.retired - self.retired_nops) / self.cycles
+
+    @property
+    def icache_miss_ratio(self) -> float:
+        if not self.fetch_cache_accesses:
+            return 0.0
+        return self.fetch_cache_misses / self.fetch_cache_accesses
+
+    @property
+    def branch_mispredict_ratio(self) -> float:
+        """Fetch mispredictions per dynamic control transfer."""
+        if not self.dynamic_branches:
+            return 0.0
+        return self.fetch_mispredicts / self.dynamic_branches
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Flat dictionary for tabulation."""
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.machine,
+            "scheme": self.scheme,
+            "cycles": self.cycles,
+            "retired": self.retired,
+            "ipc": round(self.ipc, 4),
+            "useful_ipc": round(self.useful_ipc, 4),
+            "eir": round(self.eir, 4),
+            "icache_miss_ratio": round(self.icache_miss_ratio, 5),
+            "mispredict_ratio": round(self.branch_mispredict_ratio, 5),
+            **self.extra,
+        }

@@ -1,0 +1,70 @@
+"""Synthetic benchmark suite standing in for SPEC92 (see DESIGN.md)."""
+
+from repro.workloads.behavior import BehaviorModel, BranchBehavior
+from repro.workloads.generator import (
+    Workload,
+    WorkloadGenerator,
+    generate_workload,
+)
+from repro.workloads.calibration import (
+    CalibrationScore,
+    score_profile,
+    sweep_seeds,
+)
+from repro.workloads.micro import MICRO_WORKLOADS
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    ALL_PROFILES,
+    FP_BENCHMARKS,
+    FP_CLASS,
+    FP_PROFILES,
+    INT_CLASS,
+    INTEGER_BENCHMARKS,
+    INTEGER_PROFILES,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.workloads.suite import (
+    fp_suite,
+    full_suite,
+    integer_suite,
+    load_workload,
+)
+from repro.workloads.trace import (
+    PROFILING_SEEDS,
+    TEST_INPUT_SEED,
+    DynamicTrace,
+    TraceGenerationError,
+    generate_trace,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "ALL_PROFILES",
+    "BehaviorModel",
+    "BranchBehavior",
+    "CalibrationScore",
+    "DynamicTrace",
+    "FP_BENCHMARKS",
+    "FP_CLASS",
+    "FP_PROFILES",
+    "INTEGER_BENCHMARKS",
+    "INTEGER_PROFILES",
+    "INT_CLASS",
+    "MICRO_WORKLOADS",
+    "PROFILING_SEEDS",
+    "TEST_INPUT_SEED",
+    "TraceGenerationError",
+    "Workload",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "fp_suite",
+    "full_suite",
+    "generate_trace",
+    "generate_workload",
+    "get_profile",
+    "integer_suite",
+    "load_workload",
+    "score_profile",
+    "sweep_seeds",
+]

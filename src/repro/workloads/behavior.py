@@ -1,0 +1,114 @@
+"""Stochastic branch behaviour model.
+
+The paper drives its simulator with `spike` traces of real executions.  Our
+substitute interprets the program's CFG with a seeded RNG: each conditional
+branch has a fixed *logical* taken probability assigned at generation time.
+
+The model is keyed by ``branch_key`` (a stable identity that survives code
+reordering) and decides the branch's *logical* successor — the successor
+that was the taken target in the original layout.  When trace layout flips
+a branch (swapping taken/fall-through and inverting the condition), the
+same logical decision maps to the opposite physical outcome, so original
+and reordered programs execute identical logical paths from the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.program.basic_block import BasicBlock
+
+
+@dataclass(slots=True)
+class BranchBehavior:
+    """Run-time behaviour of one static conditional branch.
+
+    Real branches are locally *bursty*: the same outcome tends to repeat
+    (loop back-edges run for whole trip counts, condition phases persist),
+    which is exactly what 2-bit counters exploit.  Each branch is modelled
+    as a two-state Markov chain whose stationary taken probability is
+    ``probability`` and whose tendency to repeat the previous outcome is
+    ``burstiness``:
+
+    * ``P(taken | last taken)     = p + r * (1 - p)``
+    * ``P(taken | last not-taken) = p * (1 - r)``
+
+    With ``r = 0`` outcomes are i.i.d. Bernoulli(p); as ``r -> 1`` the
+    branch becomes perfectly repetitive.  The outcome-change rate is
+    ``2 p (1 - p) (1 - r)`` — the approximate 2-bit-counter mispredict
+    rate.
+
+    Attributes:
+        probability: Stationary chance of going to the *original* taken
+            target.
+        burstiness: Repeat correlation ``r`` in [0, 1).
+    """
+
+    probability: float
+    burstiness: float = 0.0
+    _last: int = -1  #: -1 unset, else 0/1 last logical outcome
+
+    def decide(self, rng: random.Random) -> bool:
+        """Draw one execution: True = go to the original taken target."""
+        p = self.probability
+        if self._last < 0:
+            outcome = rng.random() < p
+        elif self._last:
+            outcome = rng.random() < p + self.burstiness * (1.0 - p)
+        else:
+            outcome = rng.random() < p * (1.0 - self.burstiness)
+        self._last = int(outcome)
+        return outcome
+
+    def reset(self) -> None:
+        """Forget the Markov state (start of a fresh simulated input)."""
+        self._last = -1
+
+
+@dataclass(slots=True)
+class BehaviorModel:
+    """Maps branch keys to their run-time behaviour."""
+
+    branches: dict[int, BranchBehavior] = field(default_factory=dict)
+
+    @classmethod
+    def from_probabilities(
+        cls,
+        probabilities: dict[int, float],
+        burstiness: dict[int, float] | None = None,
+    ) -> "BehaviorModel":
+        """Build a model from ``branch_key -> taken probability`` (and an
+        optional per-branch repeat-correlation map)."""
+        burstiness = burstiness or {}
+        return cls(
+            branches={
+                key: BranchBehavior(
+                    probability=p, burstiness=burstiness.get(key, 0.0)
+                )
+                for key, p in probabilities.items()
+            }
+        )
+
+    def reset(self) -> None:
+        """Reset all per-branch Markov state (fresh simulated input)."""
+        for behavior in self.branches.values():
+            behavior.reset()
+
+    def decide_successor(self, block: BasicBlock, rng: random.Random) -> int:
+        """Execute *block*'s conditional branch once; return the next block id.
+
+        Respects the block's flip state: the logical path is identical
+        whether or not trace layout inverted the branch condition.
+        """
+        behavior = self.branches.get(block.branch_key)
+        if behavior is None:
+            raise KeyError(f"no behaviour for branch key {block.branch_key}")
+        goes_to_original_taken = behavior.decide(rng)
+        physically_taken = goes_to_original_taken != block.flipped
+        return block.taken_id if physically_taken else block.fall_id
+
+    def physical_taken_probability(self, block: BasicBlock) -> float:
+        """Probability that *block*'s branch is physically taken."""
+        behavior = self.branches[block.branch_key]
+        return block.taken_probability(behavior.probability)

@@ -1,0 +1,318 @@
+"""Structured synthetic program generator.
+
+Generates a whole program (functions, loops, hammocks, diamonds, calls)
+from a :class:`~repro.workloads.profiles.WorkloadProfile`.  The generator
+is fully deterministic given the profile's seed.
+
+Shape control:
+
+* *if-then* constructs produce forward conditional branches that skip a
+  straight *then* part — the taken-branch displacement equals the hammock
+  size + 1, which is what the paper's Table 2 (intra-block branch ratio)
+  is sensitive to.
+* *loop* constructs produce backward taken branches whose displacement is
+  the loop-body size.
+* The call graph is a DAG (function *i* only calls *j > i*), so dynamic
+  call depth is bounded and traces always make progress.
+* Register dataflow uses a sliding *dependence window*: sources are drawn
+  from recently written registers, so small windows create serial chains
+  (integer-like ILP) and large windows expose parallelism (FP-like ILP).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.isa.registers import NUM_FP_REGS, NUM_INT_REGS, fp_reg, int_reg
+from repro.program.builder import ProgramBuilder
+from repro.program.program import Program
+from repro.workloads.behavior import BehaviorModel
+from repro.workloads.profiles import WorkloadProfile
+
+_CONSTRUCTS = ("straight", "if_then", "if_then_else", "loop", "call")
+
+
+@dataclass(slots=True)
+class Workload:
+    """A generated benchmark: program + run-time branch behaviour."""
+
+    name: str
+    profile: WorkloadProfile
+    program: Program
+    behavior: BehaviorModel
+
+    @property
+    def workload_class(self) -> str:
+        return self.profile.workload_class
+
+
+@dataclass(slots=True)
+class _RegState:
+    """Sliding windows of recently written registers, per class."""
+
+    window: int
+    recent_int: deque = field(default_factory=deque)
+    recent_fp: deque = field(default_factory=deque)
+
+    def reset(self, rng: random.Random) -> None:
+        self.recent_int = deque(
+            (int_reg(rng.randrange(NUM_INT_REGS)) for _ in range(2)),
+            maxlen=self.window,
+        )
+        self.recent_fp = deque(
+            (fp_reg(rng.randrange(NUM_FP_REGS)) for _ in range(2)),
+            maxlen=self.window,
+        )
+
+    def wrote_int(self, reg: int) -> None:
+        self.recent_int.append(reg)
+
+    def wrote_fp(self, reg: int) -> None:
+        self.recent_fp.append(reg)
+
+    def src_int(self, rng: random.Random) -> int:
+        return rng.choice(tuple(self.recent_int))
+
+    def src_fp(self, rng: random.Random) -> int:
+        return rng.choice(tuple(self.recent_fp))
+
+
+class WorkloadGenerator:
+    """Generates one :class:`Workload` from a profile."""
+
+    def __init__(self, profile: WorkloadProfile) -> None:
+        self.profile = profile
+        self.rng = random.Random(profile.seed)
+        self.builder = ProgramBuilder(name=profile.name)
+        self.regs = _RegState(window=profile.dep_window)
+        self._func_index = 0
+        weights = (
+            profile.w_straight,
+            profile.w_if_then,
+            profile.w_if_then_else,
+            profile.w_loop,
+            profile.w_call,
+        )
+        self._weights = weights
+
+    # -- public -----------------------------------------------------------
+
+    def generate(self) -> Workload:
+        """Build the whole program and its behaviour model."""
+        profile = self.profile
+        per_func = max(8, profile.static_size // profile.num_functions)
+        for index in range(profile.num_functions):
+            budget = int(per_func * self.rng.uniform(0.5, 1.5))
+            self._gen_function(index, budget)
+        program = self.builder.finish()
+        behavior = BehaviorModel.from_probabilities(
+            self.builder.branch_probabilities,
+            self.builder.branch_burstiness,
+        )
+        return Workload(
+            name=profile.name,
+            profile=profile,
+            program=program,
+            behavior=behavior,
+        )
+
+    # -- function generation ------------------------------------------------
+
+    def _gen_function(self, index: int, budget: int) -> None:
+        b = self.builder
+        self._func_index = index
+        self.regs.reset(self.rng)
+        b.begin_function("main" if index == 0 else f"f{index}")
+        # A short prologue guarantees the entry block is non-empty.
+        self._straight(self.rng.randint(1, 3))
+        self._fill_region(budget, loop_depth=0)
+        b.ret()
+        b.end_function()
+
+    def _fill_region(self, budget: int, loop_depth: int) -> int:
+        """Emit constructs until *budget* instructions are spent."""
+        spent = 0
+        while spent < budget:
+            spent += self._emit_construct(loop_depth, budget - spent)
+        return spent
+
+    def _emit_construct(self, loop_depth: int, remaining: int) -> int:
+        profile = self.profile
+        rng = self.rng
+        kind = rng.choices(_CONSTRUCTS, weights=self._weights)[0]
+        if kind == "loop" and (
+            loop_depth >= profile.max_loop_depth
+            or remaining < profile.loop_body_budget[0] + 3
+        ):
+            kind = "straight"
+        if kind == "call" and self._func_index >= profile.num_functions - 1:
+            kind = "straight"
+        if kind == "straight":
+            return self._straight(rng.randint(*profile.straight_block_size))
+        if kind == "if_then":
+            return self._if_then()
+        if kind == "if_then_else":
+            return self._if_then_else()
+        if kind == "loop":
+            return self._loop(loop_depth, remaining)
+        return self._call()
+
+    # -- constructs ----------------------------------------------------------
+
+    def _straight(self, count: int) -> int:
+        for _ in range(max(1, count)):
+            self._body_instr()
+        return max(1, count)
+
+    def _hammock_size(self) -> int:
+        profile, rng = self.profile, self.rng
+        if profile.hammock_choices is not None:
+            sizes = [size for size, _ in profile.hammock_choices]
+            weights = [weight for _, weight in profile.hammock_choices]
+            return rng.choices(sizes, weights=weights)[0]
+        return rng.randint(*profile.hammock_size)
+
+    def _if_then(self) -> int:
+        b, rng, profile = self.builder, self.rng, self.profile
+        then_size = self._hammock_size()
+        skip = b.new_label()
+        cond = self._branch_source()
+        prob, burst = self._cond_params(profile.hammock_taken_prob)
+        b.branch_if(cond, skip, probability=prob, burstiness=burst)
+        self._straight(then_size)
+        b.bind(skip)
+        self._body_instr()
+        return then_size + 3
+
+    def _if_then_else(self) -> int:
+        b, rng, profile = self.builder, self.rng, self.profile
+        then_size = self._hammock_size()
+        else_size = rng.randint(*profile.else_size)
+        else_label = b.new_label()
+        end_label = b.new_label()
+        cond = self._branch_source()
+        prob, burst = self._cond_params(profile.if_else_taken_prob)
+        b.branch_if(cond, else_label, probability=prob, burstiness=burst)
+        self._straight(then_size)
+        b.jump(end_label)
+        b.bind(else_label)
+        self._straight(else_size)
+        b.bind(end_label)
+        self._body_instr()
+        return then_size + else_size + 4
+
+    def _loop(self, loop_depth: int, remaining: int) -> int:
+        b, rng, profile = self.builder, self.rng, self.profile
+        if rng.random() < profile.inner_loop_fraction:
+            # A run of sibling tiny inner loops: straight bodies with short
+            # backward branches.  Emitting several siblings spreads the
+            # dynamic heat over multiple branch alignments, stabilising the
+            # displacement statistics the paper's Table 2 depends on.
+            continue_prob = (
+                profile.inner_loop_continue_prob or profile.loop_continue_prob
+            )
+            spent = 0
+            for _ in range(rng.randint(*profile.inner_loop_siblings)):
+                head = b.new_label()
+                self._body_instr()  # loop counter init
+                b.bind(head)
+                spent += self._straight(rng.randint(*profile.inner_loop_body))
+                b.branch_if(
+                    self.regs.src_int(rng),
+                    head,
+                    probability=self._loop_prob(continue_prob),
+                )
+                spent += 2
+            return spent
+        head = b.new_label()
+        self._body_instr()  # loop counter init
+        b.bind(head)
+        lo, hi = profile.loop_body_budget
+        body_budget = rng.randint(lo, min(hi, max(lo, remaining - 3)))
+        spent = self._fill_region(body_budget, loop_depth + 1)
+        b.branch_if(
+            self.regs.src_int(rng),
+            head,
+            probability=self._loop_prob(profile.loop_continue_prob),
+        )
+        return spent + 2
+
+    def _call(self) -> int:
+        b, rng = self.builder, self.rng
+        callee = rng.randint(self._func_index + 1, self.profile.num_functions - 1)
+        self._body_instr()  # argument setup
+        b.call("main" if callee == 0 else f"f{callee}")
+        self._body_instr()  # consume the result
+        return 4
+
+    # -- instruction-level helpers ----------------------------------------------
+
+    def _branch_source(self) -> int:
+        """Emit the computation a branch condition depends on.
+
+        Real conditions frequently hang off memory (pointer chasing, table
+        lookups), so half the time the condition register is produced by a
+        load — lengthening branch resolution the way real code does.
+        """
+        b, rng = self.builder, self.rng
+        dest = int_reg(rng.randrange(NUM_INT_REGS))
+        if rng.random() < 0.5:
+            b.load(dest, self.regs.src_int(rng))
+        else:
+            b.ialu(dest, self.regs.src_int(rng), self.regs.src_int(rng))
+        self.regs.wrote_int(dest)
+        return dest
+
+    def _cond_params(
+        self, prob_range: tuple[float, float]
+    ) -> tuple[float, float]:
+        """Draw (taken probability, burstiness) for a non-loop conditional.
+
+        Most branches are phase-correlated (profile burstiness); the
+        weakly-biased fraction is both near 50/50 and less repetitive,
+        bounding achievable 2-bit-counter accuracy.
+        """
+        rng = self.rng
+        if rng.random() < self.profile.weakly_biased_fraction:
+            return rng.uniform(0.35, 0.65), 0.5
+        return rng.uniform(*prob_range), self.profile.burstiness
+
+    def _loop_prob(self, prob_range: tuple[float, float]) -> float:
+        """Draw a loop back-edge continue probability (no burstiness:
+        i.i.d. draws already yield geometric trip counts)."""
+        return self.rng.uniform(*prob_range)
+
+    def _body_instr(self) -> None:
+        """Emit one non-control instruction drawn from the profile mix."""
+        b, rng, profile, regs = self.builder, self.rng, self.profile, self.regs
+        roll = rng.random()
+        if roll < profile.fp_fraction:
+            dest = fp_reg(rng.randrange(NUM_FP_REGS))
+            b.falu(dest, regs.src_fp(rng), regs.src_fp(rng))
+            regs.wrote_fp(dest)
+            return
+        roll -= profile.fp_fraction
+        if roll < profile.load_fraction:
+            if profile.fp_fraction > 0 and rng.random() < profile.fp_fraction:
+                dest = fp_reg(rng.randrange(NUM_FP_REGS))
+                b.load(dest, regs.src_int(rng))
+                regs.wrote_fp(dest)
+            else:
+                dest = int_reg(rng.randrange(NUM_INT_REGS))
+                b.load(dest, regs.src_int(rng))
+                regs.wrote_int(dest)
+            return
+        roll -= profile.load_fraction
+        if roll < profile.store_fraction:
+            b.store(regs.src_int(rng), regs.src_int(rng))
+            return
+        dest = int_reg(rng.randrange(NUM_INT_REGS))
+        b.ialu(dest, regs.src_int(rng), regs.src_int(rng))
+        regs.wrote_int(dest)
+
+
+def generate_workload(profile: WorkloadProfile) -> Workload:
+    """Generate the benchmark described by *profile*."""
+    return WorkloadGenerator(profile).generate()

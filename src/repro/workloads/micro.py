@@ -1,0 +1,165 @@
+"""Micro-workloads: tiny hand-built programs with known properties.
+
+These complement the SPEC92-style suite for testing, debugging and
+teaching: each isolates a single fetch behaviour (pure straight-line
+code, a hammock farm, a tiny loop, deep call chains, a branch storm).
+They are exact — no generation randomness — so tests can assert precise
+expectations against them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.isa.registers import int_reg
+from repro.program.builder import ProgramBuilder
+from repro.workloads.behavior import BehaviorModel
+from repro.workloads.generator import Workload
+from repro.workloads.profiles import WorkloadProfile
+
+
+def _micro_profile(name: str) -> WorkloadProfile:
+    """Placeholder profile carried by micro-workloads (class "int")."""
+    return WorkloadProfile(
+        name=name, workload_class="int", seed=0, static_size=0,
+        num_functions=1, w_straight=1, w_if_then=0, w_if_then_else=0,
+        w_loop=0, w_call=0, straight_block_size=(1, 1), hammock_size=(1, 1),
+        else_size=(1, 1), loop_body_budget=(4, 4), max_loop_depth=1,
+        loop_continue_prob=(0.5, 0.5), hammock_taken_prob=(0.5, 0.5),
+        if_else_taken_prob=(0.5, 0.5), weakly_biased_fraction=0.0,
+        fp_fraction=0.0, load_fraction=0.0, store_fraction=0.0,
+        dep_window=4,
+    )
+
+
+def _finish(builder: ProgramBuilder, name: str) -> Workload:
+    program = builder.finish()
+    behavior = BehaviorModel.from_probabilities(
+        builder.branch_probabilities, builder.branch_burstiness
+    )
+    return Workload(
+        name=name, profile=_micro_profile(name), program=program,
+        behavior=behavior,
+    )
+
+
+def straightline(length: int = 64) -> Workload:
+    """A single long run of independent ALU work: every scheme should
+    deliver full issue groups (modulo block boundaries)."""
+    b = ProgramBuilder("straightline")
+    b.begin_function("main")
+    loop = b.new_label()
+    b.bind(loop)
+    for i in range(length):
+        b.ialu(int_reg(1 + i % 20))
+    b.branch_if(int_reg(1), loop, probability=0.99)
+    b.ret()
+    b.end_function()
+    return _finish(b, "straightline")
+
+
+def tiny_loop(body: int = 3, continue_prob: float = 0.95) -> Workload:
+    """A loop smaller than one cache block: its back edge is the
+    backward intra-block branch no scheme (not even the collapsing
+    buffer's controller) realigns."""
+    b = ProgramBuilder("tiny_loop")
+    b.begin_function("main")
+    loop = b.new_label()
+    b.ialu(int_reg(1))
+    b.bind(loop)
+    for i in range(body):
+        b.ialu(int_reg(2 + i), int_reg(1))
+    b.branch_if(int_reg(2), loop, probability=continue_prob)
+    b.ret()
+    b.end_function()
+    return _finish(b, "tiny_loop")
+
+
+def hammock_farm(
+    count: int = 8,
+    gap: int = 2,
+    taken_prob: float = 0.9,
+) -> Workload:
+    """A run of likely-taken short forward branches — the collapsing
+    buffer's home turf (each skip is an intra-block forward branch)."""
+    b = ProgramBuilder("hammock_farm")
+    b.begin_function("main")
+    loop = b.new_label()
+    b.ialu(int_reg(1))
+    b.bind(loop)
+    for index in range(count):
+        skip = b.new_label()
+        b.ialu(int_reg(2 + index % 16), int_reg(1))
+        b.branch_if(
+            int_reg(2 + index % 16), skip,
+            probability=taken_prob, burstiness=0.9,
+        )
+        for _ in range(gap):
+            b.ialu(int_reg(20))
+        b.bind(skip)
+        b.ialu(int_reg(3 + index % 16))
+    b.branch_if(int_reg(1), loop, probability=0.98)
+    b.ret()
+    b.end_function()
+    return _finish(b, "hammock_farm")
+
+
+def call_chain(depth: int = 6, body: int = 4) -> Workload:
+    """A chain of calls `main -> f1 -> ... -> fN`, with *two* call sites
+    for ``f1`` in main's loop: the leaf returns alternate between targets
+    every iteration, which a target-caching BTB mispredicts and a
+    return-address stack fixes."""
+    b = ProgramBuilder("call_chain")
+    b.begin_function("main")
+    loop = b.new_label()
+    b.ialu(int_reg(1))
+    b.bind(loop)
+    b.call("f1")
+    b.ialu(int_reg(2), int_reg(1))
+    b.call("f1")
+    b.branch_if(int_reg(1), loop, probability=0.97)
+    b.ret()
+    b.end_function()
+    for index in range(1, depth + 1):
+        b.begin_function(f"f{index}")
+        for i in range(body):
+            b.ialu(int_reg(2 + i))
+        if index < depth:
+            b.call(f"f{index + 1}")
+            b.ialu(int_reg(2))
+        b.ret()
+        b.end_function()
+    return _finish(b, "call_chain")
+
+
+def branch_storm(count: int = 32) -> Workload:
+    """Weakly-biased, uncorrelated branches: the predictability floor.
+    Every scheme degrades towards the misprediction-bound limit."""
+    b = ProgramBuilder("branch_storm")
+    b.begin_function("main")
+    loop = b.new_label()
+    b.ialu(int_reg(1))
+    b.bind(loop)
+    for index in range(count):
+        skip = b.new_label()
+        b.ialu(int_reg(2 + index % 8), int_reg(1))
+        b.branch_if(
+            int_reg(2 + index % 8), skip, probability=0.5, burstiness=0.0
+        )
+        b.ialu(int_reg(15))
+        b.bind(skip)
+        b.ialu(int_reg(16))
+    b.branch_if(int_reg(1), loop, probability=0.98)
+    b.ret()
+    b.end_function()
+    return _finish(b, "branch_storm")
+
+
+#: Registry of micro-workload constructors.
+MICRO_WORKLOADS: dict[str, Callable[[], Workload]] = {
+    "straightline": straightline,
+    "tiny_loop": tiny_loop,
+    "hammock_farm": hammock_farm,
+    "call_chain": call_chain,
+    "branch_storm": branch_storm,
+}

@@ -1,0 +1,309 @@
+"""Workload profiles: generator parameters for each paper benchmark.
+
+The paper evaluates six SPECint92 benchmarks, three additional integer
+programs (bison, flex, mpeg_play) and six SPECfp92 benchmarks.  SPEC92
+binaries and their PA-RISC traces are unavailable, so each benchmark is
+replaced by a *profile*: a parameter set for the structured program
+generator plus a branch-behaviour specification.  Profiles are calibrated
+against the paper's published per-benchmark statistics — most importantly
+Table 2 (fraction of taken branches whose target lies in the same cache
+block, at 16/32/64-byte blocks), which is governed by the displacement
+distribution of taken branches: hammock (short forward) sizes and inner
+loop-body sizes.
+
+Integer profiles have short basic blocks, frequent short forward branches,
+moderate loop trip counts, and tight dependence chains; floating-point
+profiles have long straight-line bodies, deep trip counts, few conditionals
+and wide dependence windows — matching the paper's characterisation of the
+two classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+INT_CLASS = "int"
+FP_CLASS = "fp"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Parameters steering the synthetic program generator.
+
+    Size ranges are inclusive ``(lo, hi)`` uniform ranges; probability
+    ranges are uniform ranges a per-branch probability is drawn from.
+
+    Attributes:
+        name: Benchmark name (paper's spelling).
+        workload_class: ``"int"`` or ``"fp"``.
+        seed: Base RNG seed for program generation.
+        static_size: Approximate static instruction count to generate.
+        num_functions: Number of functions (function 0 is ``main``).
+        w_straight / w_if_then / w_if_then_else / w_loop / w_call:
+            Construct-mix weights used when filling code regions.
+        straight_block_size: Instructions per straight-line block.
+        hammock_size: Size of an if-then's *then* part (the gap skipped by
+            a taken forward branch — the key Table 2 parameter).
+        else_size: Size of an if-then-else's *else* part.
+        loop_body_budget: Instruction budget for one loop body.
+        max_loop_depth: Maximum loop nesting depth.
+        loop_continue_prob: Back-edge taken probability range (mean trip
+            count is ``1 / (1 - p)``).
+        hammock_taken_prob: Taken probability of if-then forward branches.
+            High values = badly laid-out code that reordering can fix.
+        if_else_taken_prob: Taken (= else-path) probability of diamonds.
+        weakly_biased_fraction: Fraction of conditional branches that are
+            re-drawn near 0.5, limiting 2-bit-counter accuracy.
+        fp_fraction: Fraction of body instructions that are FP operations.
+        load_fraction / store_fraction: Memory-operation mix.
+        dep_window: How far back source registers are drawn from; small
+            values create serial chains, large values expose parallelism.
+    """
+
+    name: str
+    workload_class: str
+    seed: int
+    static_size: int
+    num_functions: int
+    w_straight: float
+    w_if_then: float
+    w_if_then_else: float
+    w_loop: float
+    w_call: float
+    straight_block_size: tuple[int, int]
+    hammock_size: tuple[int, int]
+    else_size: tuple[int, int]
+    loop_body_budget: tuple[int, int]
+    max_loop_depth: int
+    loop_continue_prob: tuple[float, float]
+    hammock_taken_prob: tuple[float, float]
+    if_else_taken_prob: tuple[float, float]
+    weakly_biased_fraction: float
+    fp_fraction: float
+    load_fraction: float
+    store_fraction: float
+    dep_window: int
+    #: Optional discrete distribution of hammock sizes ``((size, weight), …)``
+    #: overriding ``hammock_size`` — used to shape the taken-branch
+    #: displacement histogram precisely (paper Table 2 calibration).
+    hammock_choices: tuple[tuple[int, float], ...] | None = None
+    #: Fraction of loop constructs that are *tiny inner loops* — straight
+    #: bodies drawn from ``inner_loop_body``, dominating dynamic taken
+    #: branches with short backward displacements.
+    inner_loop_fraction: float = 0.0
+    inner_loop_body: tuple[int, int] = (4, 8)
+    inner_loop_continue_prob: tuple[float, float] | None = None
+    #: How many sibling tiny loops one inner-loop construct emits; more
+    #: siblings average the hot branches over more block alignments.
+    inner_loop_siblings: tuple[int, int] = (2, 4)
+    #: Repeat correlation of non-loop conditional outcomes (hammocks and
+    #: diamonds): real branches are phase-correlated, which is what 2-bit
+    #: counters exploit.  Loop back-edges use 0 (geometric trip counts).
+    burstiness: float = 0.93
+
+    def __post_init__(self) -> None:
+        if self.workload_class not in (INT_CLASS, FP_CLASS):
+            raise ValueError(f"bad workload class: {self.workload_class}")
+        weights = (
+            self.w_straight,
+            self.w_if_then,
+            self.w_if_then_else,
+            self.w_loop,
+            self.w_call,
+        )
+        if min(weights) < 0 or sum(weights) <= 0:
+            raise ValueError("construct weights must be non-negative, not all 0")
+
+
+def _int_profile(name: str, seed: int, **overrides) -> WorkloadProfile:
+    """Integer-benchmark template: branchy, short blocks, tight chains."""
+    params = dict(
+        name=name,
+        workload_class=INT_CLASS,
+        seed=seed,
+        static_size=6000,
+        num_functions=24,
+        w_straight=0.12,
+        w_if_then=0.40,
+        w_if_then_else=0.18,
+        w_loop=0.16,
+        w_call=0.14,
+        straight_block_size=(1, 3),
+        hammock_size=(1, 5),
+        else_size=(2, 6),
+        loop_body_budget=(10, 30),
+        max_loop_depth=2,
+        loop_continue_prob=(0.72, 0.84),
+        hammock_taken_prob=(0.62, 0.95),
+        if_else_taken_prob=(0.50, 0.88),
+        weakly_biased_fraction=0.10,
+        fp_fraction=0.02,
+        load_fraction=0.22,
+        store_fraction=0.10,
+        dep_window=10,
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+def _fp_profile(name: str, seed: int, **overrides) -> WorkloadProfile:
+    """FP-benchmark template: loop-dominated, long blocks, wide windows."""
+    params = dict(
+        name=name,
+        workload_class=FP_CLASS,
+        seed=seed,
+        static_size=7000,
+        num_functions=12,
+        w_straight=0.42,
+        w_if_then=0.06,
+        w_if_then_else=0.04,
+        w_loop=0.40,
+        w_call=0.08,
+        straight_block_size=(8, 24),
+        hammock_size=(2, 6),
+        else_size=(4, 10),
+        loop_body_budget=(30, 90),
+        max_loop_depth=2,
+        loop_continue_prob=(0.91, 0.95),
+        hammock_taken_prob=(0.30, 0.70),
+        if_else_taken_prob=(0.30, 0.70),
+        weakly_biased_fraction=0.03,
+        fp_fraction=0.45,
+        load_fraction=0.25,
+        store_fraction=0.12,
+        dep_window=16,
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+#: The nine integer benchmarks of the paper (six SPECint92 + bison, flex,
+#: mpeg_play).  Per-benchmark overrides push each towards its published
+#: Table 2 / Table 3 signature.
+INTEGER_PROFILES: tuple[WorkloadProfile, ...] = (
+    _int_profile(
+        "bison", seed=101,
+        hammock_choices=((1, 0.35), (4, 0.30), (7, 0.15), (12, 0.20)),
+        hammock_taken_prob=(0.40, 0.80),
+    ),
+    _int_profile(
+        "compress", seed=8102, static_size=2500, num_functions=10,
+        # Table 2: 14.6% intra-block even at 16B blocks -> some 1-2 inst
+        # hammocks plus a band around 10-14 that only fits 64B blocks.
+        hammock_choices=((1, 0.38), (14, 0.30), (18, 0.32)),
+        w_if_then=0.36, w_if_then_else=0.12, else_size=(10, 16),
+        hammock_taken_prob=(0.55, 0.90),
+    ),
+    _int_profile(
+        "eqntott", seed=6103, static_size=2200, num_functions=8,
+        # 6% -> 29% -> 41%: hammocks of 2-6 instructions dominate.
+        hammock_choices=((1, 0.08), (2, 0.15), (3, 0.35), (4, 0.32), (14, 0.10)),
+        w_if_then=0.42, w_if_then_else=0.08, else_size=(8, 14),
+        inner_loop_fraction=0.45, inner_loop_body=(4, 7),
+        straight_block_size=(2, 5), loop_continue_prob=(0.78, 0.88),
+    ),
+    _int_profile(
+        "espresso", seed=4104, static_size=5000,
+        # 1.4% -> 14.9% -> 45.7%: mid-length hammocks.
+        hammock_choices=((3, 0.20), (5, 0.45), (9, 0.25), (14, 0.10)),
+        w_if_then=0.40, inner_loop_fraction=0.35, inner_loop_body=(5, 8), loop_continue_prob=(0.74, 0.86),
+    ),
+    _int_profile(
+        "flex", seed=17105,
+        # Low intra-block ratios: longer skip distances.
+        hammock_choices=((2, 0.06), (6, 0.12), (10, 0.45), (14, 0.17), (24, 0.20)),
+        else_size=(4, 10),
+    ),
+    _int_profile(
+        "gcc", seed=3106, static_size=26000, num_functions=80,
+        # Large static footprint -> I-cache misses on PI4's 32KB cache.
+        hammock_choices=((1, 0.30), (5, 0.25), (9, 0.15), (14, 0.10), (26, 0.20)),
+        weakly_biased_fraction=0.16,
+        loop_continue_prob=(0.68, 0.82), w_call=0.14,
+    ),
+    _int_profile(
+        "li", seed=20107, static_size=4500, num_functions=40,
+        # Call-dominated interpreter; few short hammocks.
+        w_call=0.20, w_if_then=0.24,
+        hammock_choices=((4, 0.10), (6, 0.20), (10, 0.25), (20, 0.45)),
+        straight_block_size=(2, 5),
+    ),
+    _int_profile(
+        "mpeg_play", seed=16108, static_size=9000,
+        # Media kernel: larger blocks, fewer short branches.
+        straight_block_size=(3, 9),
+        hammock_choices=((2, 0.04), (5, 0.12), (12, 0.14), (20, 0.70)),
+        w_straight=0.34, w_if_then=0.22, loop_continue_prob=(0.76, 0.88),
+        fp_fraction=0.08,
+    ),
+    _int_profile(
+        "sc", seed=17109, static_size=6500,
+        hammock_choices=((3, 0.12), (6, 0.14), (14, 0.24), (20, 0.50)),
+        w_if_then=0.28,
+    ),
+)
+
+#: The six SPECfp92 benchmarks of the paper.
+FP_PROFILES: tuple[WorkloadProfile, ...] = (
+    _fp_profile(
+        "doduc", seed=6201, static_size=9000,
+        # Mixed control: some short hammocks and small inner loops.
+        w_if_then=0.14, hammock_choices=((3, 0.5), (7, 0.5)),
+        loop_body_budget=(24, 70),
+        inner_loop_fraction=0.50, inner_loop_body=(4, 8),
+    ),
+    _fp_profile(
+        "mdljdp2", seed=13202,
+        # Table 2: 0.3% -> 24% -> 66%: tiny inner loops of ~4-9 instrs
+        # dominate the dynamic taken-branch stream.
+        inner_loop_fraction=0.80, inner_loop_body=(4, 9),
+        inner_loop_continue_prob=(0.91, 0.95),
+        loop_body_budget=(30, 60), straight_block_size=(5, 10),
+        w_loop=0.50, w_straight=0.36, loop_continue_prob=(0.90, 0.94),
+    ),
+    _fp_profile(
+        "nasa7", seed=18203,
+        # ~0% intra-block everywhere: very long loop bodies.
+        loop_body_budget=(70, 160), straight_block_size=(16, 40),
+        w_if_then_else=0.02, else_size=(12, 18),
+    ),
+    _fp_profile(
+        "ora", seed=5204, static_size=3000, num_functions=6,
+        # 0% -> 19% -> 23%: inner loop bodies straddling ~8 instructions.
+        inner_loop_fraction=0.25, inner_loop_body=(6, 8),
+        inner_loop_siblings=(4, 8), loop_body_budget=(25, 60), straight_block_size=(6, 12),
+        w_loop=0.45,
+    ),
+    _fp_profile(
+        "tomcatv", seed=4205, static_size=4000, num_functions=6,
+        # Jump at 64B only: inner bodies of ~12-14 instructions.
+        inner_loop_fraction=0.80, inner_loop_body=(12, 14),
+        inner_loop_siblings=(5, 9), loop_body_budget=(20, 40), straight_block_size=(10, 16),
+        w_loop=0.46, w_straight=0.40, w_if_then=0.02, w_if_then_else=0.02,
+        loop_continue_prob=(0.91, 0.95),
+    ),
+    _fp_profile(
+        "wave5", seed=16206,
+        # 2.7% -> 35% -> 42%: short hammocks and mid-size inner loops.
+        w_if_then=0.20, hammock_choices=((2, 0.40), (4, 0.35), (8, 0.25)),
+        inner_loop_fraction=0.45, inner_loop_body=(4, 7),
+        loop_body_budget=(15, 40), loop_continue_prob=(0.90, 0.94),
+    ),
+)
+
+ALL_PROFILES: tuple[WorkloadProfile, ...] = INTEGER_PROFILES + FP_PROFILES
+
+PROFILES_BY_NAME: dict[str, WorkloadProfile] = {p.name: p for p in ALL_PROFILES}
+
+INTEGER_BENCHMARKS: tuple[str, ...] = tuple(p.name for p in INTEGER_PROFILES)
+FP_BENCHMARKS: tuple[str, ...] = tuple(p.name for p in FP_PROFILES)
+ALL_BENCHMARKS: tuple[str, ...] = INTEGER_BENCHMARKS + FP_BENCHMARKS
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Return the profile for benchmark *name* (KeyError if unknown)."""
+    try:
+        return PROFILES_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None

@@ -1,0 +1,39 @@
+"""Benchmark-suite registry with caching.
+
+Workload generation is deterministic but not free (tens of thousands of
+instructions for the larger programs), so generated workloads are cached
+per benchmark name.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workloads.generator import Workload, generate_workload
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    FP_BENCHMARKS,
+    INTEGER_BENCHMARKS,
+    get_profile,
+)
+
+
+@lru_cache(maxsize=None)
+def load_workload(name: str) -> Workload:
+    """Generate (or fetch from cache) the benchmark called *name*."""
+    return generate_workload(get_profile(name))
+
+
+def integer_suite() -> list[Workload]:
+    """The paper's nine integer benchmarks."""
+    return [load_workload(name) for name in INTEGER_BENCHMARKS]
+
+
+def fp_suite() -> list[Workload]:
+    """The paper's six floating-point benchmarks."""
+    return [load_workload(name) for name in FP_BENCHMARKS]
+
+
+def full_suite() -> list[Workload]:
+    """All fifteen benchmarks."""
+    return [load_workload(name) for name in ALL_BENCHMARKS]

@@ -1,0 +1,132 @@
+"""Dynamic instruction traces.
+
+Replaces the paper's `spike` tracing step: the interpreter walks the
+program's CFG, resolving conditional branches through the behaviour model
+with a seeded RNG, and emits the dynamic instruction stream the processor
+simulator consumes.  Different seeds play the role of different program
+inputs (the paper uses five profiling inputs plus one test input).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.program.basic_block import TermKind
+from repro.program.program import Program
+from repro.workloads.behavior import BehaviorModel
+
+#: Seed playing the role of the paper's held-out *test* input.
+TEST_INPUT_SEED = 0
+#: Seeds playing the role of the paper's five profiling inputs.
+PROFILING_SEEDS: tuple[int, ...] = (1, 2, 3, 4, 5)
+
+
+@dataclass(slots=True)
+class DynamicTrace:
+    """A dynamic instruction stream plus light bookkeeping.
+
+    ``instructions[i]`` executed at dynamic position *i*; its successor's
+    address is ``instructions[i + 1].address``.  A control transfer is
+    *taken* when the successor is not the next sequential word.
+    """
+
+    name: str
+    seed: int
+    instructions: list[Instruction] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def next_address(self, index: int) -> int:
+        """Address executed after dynamic position *index* (-1 at the end)."""
+        if index + 1 >= len(self.instructions):
+            return -1
+        return self.instructions[index + 1].address
+
+    def is_taken(self, index: int) -> bool:
+        """True if the control transfer at *index* was taken."""
+        nxt = self.next_address(index)
+        return nxt >= 0 and nxt != self.instructions[index].address + 1
+
+    def taken_branch_count(self) -> int:
+        """Number of dynamic taken control transfers."""
+        count = 0
+        for i, instr in enumerate(self.instructions):
+            if instr.is_control and self.is_taken(i):
+                count += 1
+        return count
+
+    def control_count(self) -> int:
+        """Number of dynamic control instructions."""
+        return sum(1 for instr in self.instructions if instr.is_control)
+
+    def non_nop_count(self) -> int:
+        """Number of dynamic instructions excluding nops."""
+        return sum(1 for instr in self.instructions if not instr.is_nop)
+
+    def block_sequence(self) -> list[int]:
+        """Dynamic sequence of branch keys of executed basic blocks."""
+        keys = []
+        last_block = None
+        for instr in self.instructions:
+            if instr.block_id != last_block:
+                keys.append(instr.block_id)
+                last_block = instr.block_id
+        return keys
+
+
+class TraceGenerationError(RuntimeError):
+    """Raised when a trace cannot be generated (e.g. missing behaviour)."""
+
+
+def generate_trace(
+    program: Program,
+    behavior: BehaviorModel,
+    max_instructions: int,
+    seed: int = TEST_INPUT_SEED,
+    restart_on_halt: bool = True,
+) -> DynamicTrace:
+    """Interpret *program* and emit up to *max_instructions* instructions.
+
+    Execution starts at the entry function.  A ``RET`` with an empty call
+    stack halts the program; with *restart_on_halt* the program is
+    re-entered (modelling repeated invocations) until the budget is
+    reached, otherwise the trace ends there.
+    """
+    if max_instructions <= 0:
+        raise ValueError("max_instructions must be positive")
+    rng = random.Random(seed)
+    behavior.reset()  # deterministic traces; variants stay RNG-aligned
+    cfg = program.cfg
+    trace = DynamicTrace(name=program.name, seed=seed)
+    out = trace.instructions
+    call_stack: list[int] = []
+    current = cfg.entry_block_id
+
+    while len(out) < max_instructions:
+        block = cfg.block(current)
+        out.extend(block.body)
+        if block.terminator is not None:
+            out.append(block.terminator)
+        kind = block.term_kind
+        if kind is TermKind.FALLTHROUGH:
+            current = block.fall_id
+        elif kind is TermKind.COND:
+            current = behavior.decide_successor(block, rng)
+        elif kind is TermKind.JUMP:
+            current = block.taken_id
+        elif kind is TermKind.CALL:
+            call_stack.append(block.fall_id)
+            current = block.taken_id
+        else:  # RET
+            if call_stack:
+                current = call_stack.pop()
+            elif restart_on_halt:
+                current = cfg.entry_block_id
+            else:
+                break
+
+    del out[max_instructions:]
+    return trace

@@ -1,0 +1,83 @@
+"""Tests for the alignment-hardware cost models (paper Figures 6 and 8)."""
+
+import pytest
+
+from repro.fetch import (
+    collapsing_buffer_crossbar_cost,
+    collapsing_buffer_shifter_cost,
+    interchange_switch_cost,
+    scheme_hardware_inventory,
+    valid_select_cost,
+)
+
+
+class TestComponentCosts:
+    def test_interchange_switch_formula(self):
+        # Figure 6(a): 64*k transmission gates, 2 gate delays.
+        cost = interchange_switch_cost(4)
+        assert cost.transmission_gates == 256
+        assert cost.delay_gates == 2
+
+    def test_valid_select_formula(self):
+        # Figure 6(b): 3 muxes of each shape, 4 gate delays.
+        cost = valid_select_cost(8)
+        assert cost.muxes == {
+            "8-to-1 32-bit": 3,
+            "7-to-1 32-bit": 3,
+            "2-to-1 32-bit": 3,
+        }
+        assert cost.delay_gates == 4
+
+    def test_shifter_formula(self):
+        # Figure 8(a): 64*k latches, 64*k-32 transmission gates.
+        cost = collapsing_buffer_shifter_cost(4)
+        assert cost.latches == 256
+        assert cost.transmission_gates == 224
+        assert cost.delay_latches >= 1
+
+    def test_crossbar_formula(self):
+        # Figure 8(b): 2*k 1-to-k demuxes, single gate delay + bus.
+        cost = collapsing_buffer_crossbar_cost(4)
+        assert cost.demuxes == {"1-to-4 32-bit": 8}
+        assert cost.delay_gates == 1
+        assert "backward" in cost.notes
+
+    def test_costs_scale_with_block_size(self):
+        small = interchange_switch_cost(4).transmission_gates
+        large = interchange_switch_cost(16).transmission_gates
+        assert large == 4 * small
+
+    def test_rejects_tiny_blocks(self):
+        with pytest.raises(ValueError):
+            interchange_switch_cost(1)
+
+
+class TestInventory:
+    def test_sequential_needs_no_alignment_hardware(self):
+        assert scheme_hardware_inventory("sequential", 4) == []
+
+    def test_interleaved_and_banked_share_inventory(self):
+        a = scheme_hardware_inventory("interleaved_sequential", 8)
+        b = scheme_hardware_inventory("banked_sequential", 8)
+        assert [c.component for c in a] == [c.component for c in b]
+        assert {c.component for c in a} == {
+            "interchange_switch",
+            "valid_select",
+        }
+
+    def test_crossbar_subsumes_switch_and_select(self):
+        inventory = scheme_hardware_inventory("collapsing_buffer", 8)
+        assert [c.component for c in inventory] == [
+            "collapsing_buffer_crossbar"
+        ]
+
+    def test_shifter_variant_keeps_interchange(self):
+        inventory = scheme_hardware_inventory("collapsing_buffer_shifter", 8)
+        assert {c.component for c in inventory} == {
+            "interchange_switch",
+            "collapsing_buffer_shifter",
+        }
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            scheme_hardware_inventory("trace_cache", 8)

@@ -1,0 +1,58 @@
+"""Tests for the parallel batch runner and the variance experiments."""
+
+from repro.experiments.common import ExperimentConfig
+from repro.sim.batch import SimJob, run_batch, suite_jobs
+
+FAST = ExperimentConfig(
+    trace_length=3000, eir_length=4000, stats_length=6000, warmup=800
+)
+
+
+class TestBatch:
+    def make_jobs(self):
+        return suite_jobs(
+            ("ora", "li"),
+            ("PI4",),
+            ("sequential", "collapsing_buffer"),
+            length=3000,
+            warmup=800,
+        )
+
+    def test_suite_jobs_cross_product(self):
+        jobs = self.make_jobs()
+        assert len(jobs) == 4
+        assert jobs[0] == SimJob(
+            "ora", "PI4", "sequential", length=3000, warmup=800
+        )
+
+    def test_serial_matches_parallel(self):
+        jobs = self.make_jobs()
+        serial = run_batch(jobs, processes=1)
+        parallel = run_batch(jobs, processes=2)
+        assert [s.ipc for s in serial] == [p.ipc for p in parallel]
+        assert [s.benchmark for s in serial] == [j.benchmark for j in jobs]
+
+    def test_empty(self):
+        assert run_batch([]) == []
+
+
+class TestVariance:
+    def test_ipc_variance_small(self):
+        from repro.experiments.variance import run_ipc_variance
+
+        result = run_ipc_variance(FAST)
+        assert len(result.rows) == 4 * 3
+        for row in result.rows:
+            _, _, mean, stddev, cv = row
+            assert mean > 0
+            assert 0 <= cv < 30  # inputs shift IPC but not wildly
+
+    def test_eir_ratio_variance_bounded(self):
+        from repro.experiments.variance import run_eir_ratio_variance
+
+        result = run_eir_ratio_variance(FAST)
+        for row in result.rows:
+            _, mean, stddev, lo, hi = row
+            assert 40 < mean <= 101
+            assert lo <= mean <= hi
+            assert hi - lo < 30

@@ -1,0 +1,64 @@
+"""Calibration regression locks.
+
+The workload profiles were calibrated against the paper's Table 2 and
+Table 3 (see ``repro.workloads.calibration`` and DESIGN.md).  These
+tests pin each benchmark's measured signature to the values captured at
+calibration time, so an accidental change to a profile, the generator,
+or the behaviour model shows up immediately.  Tolerances are generous —
+the lock guards against *structural* drift, not RNG noise.
+"""
+
+import pytest
+
+from repro.fetch import HARDWARE_SCHEMES
+from repro.machines import PI12
+from repro.sim import measure_eir
+from repro.workloads import generate_trace, load_workload
+from repro.workloads.calibration import measure_intra_block
+
+#: Intra-block percentages (16B/32B/64B) measured at calibration time
+#: over 30k-instruction traces of the held-out test seed.
+LOCKED_INTRA_BLOCK = {
+    "bison": (5.3, 21.7, 47.1),
+    "compress": (11.6, 16.3, 18.9),
+    "eqntott": (0.0, 21.5, 44.9),
+    "espresso": (0.3, 12.4, 42.1),
+    "flex": (0.0, 6.8, 22.0),
+    "gcc": (6.6, 13.6, 21.1),
+    "li": (0.0, 4.8, 14.5),
+    "mpeg_play": (0.0, 9.2, 13.8),
+    "sc": (0.0, 13.6, 20.6),
+    "doduc": (0.0, 14.5, 30.9),
+    "mdljdp2": (0.0, 19.8, 69.6),
+    "nasa7": (0.0, 0.0, 0.0),
+    "ora": (0.0, 5.6, 18.7),
+    "tomcatv": (0.0, 0.0, 13.7),
+    "wave5": (0.4, 40.5, 59.5),
+}
+
+
+@pytest.mark.parametrize("bench_name", sorted(LOCKED_INTRA_BLOCK))
+def test_intra_block_signature_locked(bench_name):
+    measured = measure_intra_block(load_workload(bench_name), 30_000)
+    for value, locked in zip(measured, LOCKED_INTRA_BLOCK[bench_name]):
+        assert value == pytest.approx(locked, abs=3.0), (
+            f"{bench_name} drifted: measured {measured}, "
+            f"locked {LOCKED_INTRA_BLOCK[bench_name]}"
+        )
+
+
+@pytest.mark.parametrize("bench_name", sorted(LOCKED_INTRA_BLOCK))
+def test_eir_dominance_holds_suite_wide(bench_name):
+    """sequential <= interleaved and banked <= collapsing <= perfect, by
+    fetch-only EIR, for every benchmark at the widest machine."""
+    workload = load_workload(bench_name)
+    trace = generate_trace(workload.program, workload.behavior, 8_000)
+    eirs = {
+        scheme: measure_eir(trace, PI12, scheme).eir
+        for scheme in (*HARDWARE_SCHEMES, "perfect")
+    }
+    slack = 1.02  # small tolerance for prediction-order noise
+    assert eirs["sequential"] <= eirs["interleaved_sequential"] * slack
+    assert eirs["interleaved_sequential"] <= eirs["collapsing_buffer"] * slack
+    assert eirs["banked_sequential"] <= eirs["collapsing_buffer"] * slack
+    assert eirs["collapsing_buffer"] <= eirs["perfect"] * slack

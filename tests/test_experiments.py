@@ -1,0 +1,154 @@
+"""Tests for the experiment harness (scaled-down configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    fig03_bounds,
+    fig10_eir,
+    table2_intra_block,
+    table3_taken_reduction,
+    table4_nop_padding,
+    variant_program,
+    variant_trace,
+)
+from repro.experiments.report import EXPERIMENTS, run_experiments
+
+#: Small config so experiment tests stay fast.
+FAST = ExperimentConfig(
+    trace_length=4000, eir_length=6000, stats_length=12000, warmup=1000
+)
+
+
+class TestCommon:
+    def test_variant_program_kinds(self):
+        for variant in ("orig", "reordered", "pad_all", "pad_trace"):
+            program, behavior = variant_program("compress", variant, 4)
+            program.cfg.validate()
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError, match="unknown variant"):
+            variant_program("compress", "superblock")
+
+    def test_variant_trace_cached(self):
+        a = variant_trace("li", "orig", 2000, 0)
+        b = variant_trace("li", "orig", 2000, 0)
+        assert a is b  # lru-cached
+
+    def test_padded_variants_contain_nops(self):
+        program, _ = variant_program("compress", "pad_all", 8)
+        assert program.static_nop_fraction() > 0.2
+
+
+class TestTableExperiments:
+    def test_table2_shape(self):
+        result = table2_intra_block.run(FAST)
+        assert len(result.rows) == 15
+        for row in result.rows:
+            # Intra-block fraction grows (weakly) with block size.
+            assert row[2] <= row[3] + 3 <= row[4] + 8
+            assert 0 <= row[2] <= 100
+
+    def test_table2_known_signatures(self):
+        result = table2_intra_block.run(FAST)
+        values = {row[1]: row[2:] for row in result.rows}
+        # nasa7 is flat near zero; mdljdp2 spikes at 64B (paper).
+        assert values["nasa7"][2] < 8
+        assert values["mdljdp2"][2] > 40
+        assert values["mdljdp2"][2] > values["nasa7"][2] + 30
+
+    def test_table3_reductions_positive(self):
+        result = table3_taken_reduction.run(FAST)
+        assert len(result.rows) == 9
+        measured = [row[1] for row in result.rows]
+        assert sum(m > 0 for m in measured) >= 8
+        assert all(m < 60 for m in measured)
+
+    def test_table4_pad_trace_cheaper(self):
+        result = table4_nop_padding.run(FAST)
+        for row in result.rows:
+            # pad-all >> pad-trace at every block size.
+            assert row[1] > row[2]
+            assert row[3] > row[4]
+            assert row[5] > row[6]
+            # growth with block size
+            assert row[1] < row[3] < row[5]
+
+
+class TestSimulationExperiments:
+    def test_fig03_bounds(self):
+        result = fig03_bounds.run(FAST)
+        assert len(result.rows) == 6
+        for row in result.rows:
+            _, _, seq, perfect, gap = row
+            assert seq <= perfect
+            assert 0 <= gap < 100
+
+    def test_fig10_ratios(self):
+        result = fig10_eir.run(FAST)
+        for row in result.rows:
+            ratios = row[3:]
+            assert all(0 < r <= 105 for r in ratios)
+            # sequential <= collapsing buffer
+            assert ratios[0] <= ratios[-1]
+
+    def test_run_experiments_selector(self):
+        results = run_experiments(["table4"], FAST)
+        assert len(results) == 1
+        assert results[0].experiment == "table4"
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiments(["fig99"], FAST)
+
+    def test_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "fig03",
+            "table2",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "table3",
+            "table4",
+            "fig13",
+        }
+
+    def test_result_renders(self):
+        result = table4_nop_padding.run(FAST)
+        text = result.as_text()
+        assert "pad-all" in text
+        assert result.title in text
+
+
+class TestDetailVariants:
+    def test_fig09_detail_rows(self):
+        from repro.experiments import fig09_schemes
+
+        result = fig09_schemes.run_detail(FAST)
+        assert len(result.rows) == 15 * 3
+        for row in result.rows:
+            ipcs = row[3:]
+            assert all(0 < value <= 12.5 for value in ipcs)
+            assert ipcs[-1] * 1.05 >= max(ipcs)  # perfect ~dominates
+
+    def test_fig10_detail_rows(self):
+        from repro.experiments import fig10_eir
+
+        result = fig10_eir.run_detail(FAST)
+        assert len(result.rows) == 15 * 3
+        for row in result.rows:
+            assert all(0 < ratio <= 105 for ratio in row[4:])
+
+
+class TestSerialisation:
+    def test_as_records_and_json(self):
+        import json
+
+        result = table4_nop_padding.run(FAST)
+        records = result.as_records()
+        assert len(records) == len(result.rows)
+        assert set(records[0]) == set(result.headers)
+        decoded = json.loads(result.to_json())
+        assert decoded["experiment"] == "table4"
+        assert decoded["rows"] == [list(r) for r in json.loads(
+            result.to_json())["rows"]]

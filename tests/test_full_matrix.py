@@ -1,0 +1,27 @@
+"""Smoke coverage of the full scheme x machine matrix.
+
+Each cell is a short simulation; the point is breadth (every combination
+constructs, runs, and respects basic invariants), not statistical depth.
+"""
+
+import pytest
+
+from repro.fetch import ALL_SCHEMES
+from repro.machines import MACHINES
+from repro.sim import run_workload
+
+MATRIX_BENCHMARKS = ("compress", "tomcatv")
+
+
+@pytest.mark.parametrize("bench_name", MATRIX_BENCHMARKS)
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_cell(bench_name, machine, scheme):
+    stats = run_workload(
+        bench_name, machine, scheme, max_instructions=2500, warmup=500
+    )
+    assert stats.retired >= 2500 - 500 - machine.issue_rate
+    assert 0 < stats.ipc <= machine.issue_rate
+    assert 0 < stats.eir <= machine.issue_rate + 0.01
+    assert stats.machine == machine.name
+    assert stats.scheme == scheme

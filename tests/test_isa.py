@@ -1,0 +1,133 @@
+"""Unit tests for the ISA layer: op classes, registers, encoding."""
+
+import pytest
+
+from repro.isa import (
+    Instruction,
+    NO_REG,
+    OpClass,
+    UNIT_FOR_OP,
+    UnitType,
+    decode,
+    encode,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    nop,
+    reg_name,
+)
+from repro.isa.encoding import EncodingError
+
+
+class TestOpClass:
+    def test_control_classification(self):
+        assert Instruction(OpClass.BR_COND).is_control
+        assert Instruction(OpClass.JUMP).is_control
+        assert Instruction(OpClass.CALL).is_control
+        assert Instruction(OpClass.RET).is_control
+        assert not Instruction(OpClass.IALU).is_control
+        assert not Instruction(OpClass.NOP).is_control
+
+    def test_conditional_vs_unconditional(self):
+        assert Instruction(OpClass.BR_COND).is_conditional_branch
+        assert not Instruction(OpClass.BR_COND).is_unconditional
+        assert Instruction(OpClass.JUMP).is_unconditional
+        assert Instruction(OpClass.RET).is_unconditional
+
+    def test_latencies_match_paper(self):
+        # Table 1: FXU latency 1, FPU latency 2, branch latency 1.
+        assert Instruction(OpClass.IALU).latency == 1
+        assert Instruction(OpClass.FALU).latency == 2
+        assert Instruction(OpClass.BR_COND).latency == 1
+
+    def test_unit_mapping(self):
+        assert UNIT_FOR_OP[OpClass.IALU] is UnitType.FXU
+        assert UNIT_FOR_OP[OpClass.FALU] is UnitType.FPU
+        assert UNIT_FOR_OP[OpClass.BR_COND] is UnitType.BRANCH
+        assert UNIT_FOR_OP[OpClass.LOAD] is UnitType.LOAD_UNIT
+        assert UNIT_FOR_OP[OpClass.STORE] is UnitType.STORE_BUFFER
+
+
+class TestRegisters:
+    def test_int_and_fp_spaces_disjoint(self):
+        assert int_reg(0) == 0
+        assert fp_reg(0) == 32
+        assert not is_fp_reg(int_reg(31))
+        assert is_fp_reg(fp_reg(0))
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            int_reg(32)
+        with pytest.raises(ValueError):
+            fp_reg(-1)
+
+    def test_reg_names(self):
+        assert reg_name(int_reg(5)) == "r5"
+        assert reg_name(fp_reg(3)) == "f3"
+        assert reg_name(NO_REG) == "-"
+
+
+class TestInstruction:
+    def test_sources_skip_missing(self):
+        instr = Instruction(OpClass.IALU, dest=1, src1=2)
+        assert instr.sources() == (2,)
+        assert Instruction(OpClass.NOP).sources() == ()
+
+    def test_byte_address(self):
+        instr = Instruction(OpClass.IALU, address=10)
+        assert instr.byte_address == 40
+
+    def test_nop_helper(self):
+        n = nop()
+        assert n.is_nop
+        assert n.dest == NO_REG
+
+
+class TestEncoding:
+    def test_alu_roundtrip(self):
+        instr = Instruction(OpClass.IALU, dest=3, src1=17, src2=40, address=7)
+        back = decode(encode(instr), address=7)
+        assert back.op is OpClass.IALU
+        assert (back.dest, back.src1, back.src2) == (3, 17, 40)
+
+    def test_missing_regs_roundtrip(self):
+        instr = Instruction(OpClass.LOAD, dest=9)
+        back = decode(encode(instr))
+        assert back.dest == 9
+        assert back.src1 == NO_REG
+        assert back.src2 == NO_REG
+
+    def test_branch_roundtrip_forward_and_backward(self):
+        for target in (120, 80):
+            instr = Instruction(
+                OpClass.BR_COND, src1=4, address=100, target=target
+            )
+            back = decode(encode(instr), address=100)
+            assert back.op is OpClass.BR_COND
+            assert back.src1 == 4
+            assert back.target == target
+
+    def test_jump_and_call_roundtrip(self):
+        for op in (OpClass.JUMP, OpClass.CALL):
+            instr = Instruction(op, address=50, target=1000)
+            back = decode(encode(instr), address=50)
+            assert back.op is op
+            assert back.target == 1000
+
+    def test_ret_has_no_target(self):
+        back = decode(encode(Instruction(OpClass.RET, address=5)), address=5)
+        assert back.op is OpClass.RET
+
+    def test_unplaced_branch_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(OpClass.BR_COND, src1=1))
+
+    def test_bad_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+        with pytest.raises(EncodingError):
+            decode(0x3F << 26)  # unknown opcode
+
+    def test_word_is_32_bits(self):
+        instr = Instruction(OpClass.IALU, dest=1, src1=2, src2=3)
+        assert 0 <= encode(instr) < (1 << 32)

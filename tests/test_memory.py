@@ -1,0 +1,97 @@
+"""Unit tests for the instruction cache."""
+
+import pytest
+
+from repro.memory import InstructionCache
+
+
+def make_cache(**kwargs):
+    defaults = dict(size_bytes=256, block_bytes=16, num_banks=2, miss_latency=10)
+    defaults.update(kwargs)
+    return InstructionCache(**defaults)
+
+
+class TestGeometry:
+    def test_words_and_sets(self):
+        cache = make_cache()
+        assert cache.words_per_block == 4
+        assert cache.num_sets == 16
+
+    def test_block_index_and_start(self):
+        cache = make_cache()
+        assert cache.block_index(0) == 0
+        assert cache.block_index(3) == 0
+        assert cache.block_index(4) == 1
+        assert cache.block_start(2) == 8
+
+    def test_bank_interleaving(self):
+        cache = make_cache(num_banks=2)
+        assert cache.bank_of(0) == 0
+        assert cache.bank_of(1) == 1
+        assert cache.bank_of(2) == 0
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            make_cache(size_bytes=100)  # not a multiple of block
+        with pytest.raises(ValueError):
+            make_cache(block_bytes=6)  # fractional instructions
+        with pytest.raises(ValueError):
+            make_cache(num_banks=0)
+        with pytest.raises(ValueError):
+            make_cache(size_bytes=0)
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(5)
+        cache.fill(5)
+        assert cache.access(5)
+        assert cache.stats.accesses == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_probe_does_not_record(self):
+        cache = make_cache()
+        cache.fill(3)
+        assert cache.probe(3)
+        assert not cache.probe(4)
+        assert cache.stats.accesses == 0
+
+    def test_direct_mapped_conflict(self):
+        cache = make_cache()  # 16 sets
+        cache.fill(1)
+        cache.fill(17)  # same set, evicts 1
+        assert not cache.probe(1)
+        assert cache.probe(17)
+
+    def test_access_and_fill(self):
+        cache = make_cache()
+        assert not cache.access_and_fill(7)
+        assert cache.access_and_fill(7)
+
+    def test_flush_keeps_stats(self):
+        cache = make_cache()
+        cache.access_and_fill(2)
+        cache.flush()
+        assert not cache.probe(2)
+        assert cache.stats.accesses == 1
+
+    def test_resident_blocks(self):
+        cache = make_cache()
+        cache.fill(4)
+        cache.fill(9)
+        assert sorted(cache.resident_blocks()) == [4, 9]
+
+    def test_miss_ratio(self):
+        cache = make_cache()
+        cache.access_and_fill(1)
+        cache.access(1)
+        cache.access(1)
+        assert cache.stats.miss_ratio == pytest.approx(1 / 3)
+
+    def test_paper_geometries(self):
+        # PI4 / PI8 / PI12 cache shapes (paper Table 1).
+        for size_kb, block, k in ((32, 16, 4), (64, 32, 8), (128, 64, 16)):
+            cache = InstructionCache(size_kb * 1024, block)
+            assert cache.words_per_block == k

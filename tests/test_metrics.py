@@ -1,0 +1,157 @@
+"""Tests for aggregation helpers and branch statistics."""
+
+import pytest
+
+from repro.isa import Instruction, OpClass
+from repro.metrics import (
+    arithmetic_mean,
+    format_table,
+    harmonic_mean,
+    percent,
+    taken_branch_reduction,
+    taken_branch_stats,
+)
+from repro.workloads.trace import DynamicTrace
+
+
+def trace_of(*specs):
+    instrs = []
+    for spec in specs:
+        address, op = spec[0], spec[1]
+        instrs.append(Instruction(op, address=address))
+    return DynamicTrace(name="t", seed=0, instructions=instrs)
+
+
+class TestMeans:
+    def test_harmonic_mean_basics(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_harmonic_below_arithmetic(self):
+        values = [1.0, 2.0, 4.0]
+        assert harmonic_mean(values) < arithmetic_mean(values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_percent(self):
+        assert percent(1, 4) == 25.0
+        assert percent(1, 0) == 0.0
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+        assert "0.12" in text  # floats to 2dp
+
+    def test_alignment(self):
+        text = format_table(["x"], [[100], [1]])
+        rows = text.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+
+class TestTakenBranchStats:
+    def test_counts_taken_and_intra(self):
+        trace = trace_of(
+            (0, OpClass.IALU),
+            (1, OpClass.BR_COND),  # -> 3: taken, intra-block (k=4)
+            (3, OpClass.IALU),
+            (4, OpClass.BR_COND),  # -> 5: not taken
+            (5, OpClass.JUMP),  # -> 12: taken, inter-block
+            (12, OpClass.IALU),
+        )
+        stats = taken_branch_stats(trace, 4)
+        assert stats.total_taken == 2
+        assert stats.intra_block == 1
+        assert stats.work_instructions == 3
+
+    def test_nops_excluded_from_work(self):
+        trace = trace_of((0, OpClass.NOP), (1, OpClass.IALU))
+        assert taken_branch_stats(trace, 4).work_instructions == 1
+
+    def test_reduction_normalised_by_work(self):
+        before = trace_of(
+            (0, OpClass.IALU),
+            (1, OpClass.BR_COND),  # taken -> 5
+            (5, OpClass.IALU),
+        )
+        after = trace_of(
+            (0, OpClass.IALU),
+            (1, OpClass.BR_COND),  # falls through now
+            (2, OpClass.IALU),
+        )
+        assert taken_branch_reduction(before, after) == pytest.approx(1.0)
+
+    def test_zero_guard(self):
+        empty = trace_of((0, OpClass.IALU))
+        assert taken_branch_reduction(empty, empty) == 0.0
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            taken_branch_stats(trace_of((0, OpClass.IALU)), 0)
+
+
+class TestCharts:
+    def _result(self):
+        from repro.experiments.common import ExperimentResult
+
+        return ExperimentResult(
+            experiment="fig99",
+            title="demo",
+            headers=["machine", "a", "b"],
+            rows=[["PI4", 1.0, 2.0], ["PI8", 3.0, 4.0]],
+        )
+
+    def test_bar_chart_renders_scaled_bars(self):
+        from repro.metrics import BarGroup, bar_chart
+
+        text = bar_chart(
+            ["x", "y"],
+            [BarGroup("g1", [1.0, 2.0]), BarGroup("g2", [4.0, 0.5])],
+            width=20,
+            title="T",
+        )
+        assert "T" in text
+        assert "4.00" in text
+        # The maximum value owns the full width.
+        peak_line = next(line for line in text.splitlines() if "4.00" in line)
+        assert peak_line.count("█") == 20
+
+    def test_bar_chart_validates(self):
+        import pytest as _pytest
+
+        from repro.metrics import BarGroup, bar_chart
+
+        with _pytest.raises(ValueError):
+            bar_chart(["x"], [])
+        with _pytest.raises(ValueError):
+            bar_chart(["x", "y"], [BarGroup("g", [1.0])])
+        with _pytest.raises(ValueError):
+            bar_chart(["x"], [BarGroup("g", [0.0])])
+
+    def test_result_chart_groups_by_leading_text(self):
+        from repro.metrics import result_chart
+
+        text = result_chart(self._result())
+        assert "PI4:" in text and "PI8:" in text
+        assert "demo" in text
+
+    def test_result_chart_column_filter(self):
+        from repro.metrics import result_chart
+
+        text = result_chart(self._result(), columns=["b"])
+        assert " a " not in text
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            result_chart(self._result(), columns=["zzz"])

@@ -1,0 +1,114 @@
+"""Tests using the micro-workloads: precise expectations per scheme."""
+
+import pytest
+
+from repro.machines import PI4, PI8
+from repro.sim import Simulator, measure_eir
+from repro.workloads import generate_trace
+from repro.workloads.micro import (
+    MICRO_WORKLOADS,
+    branch_storm,
+    call_chain,
+    hammock_farm,
+    straightline,
+    tiny_loop,
+)
+
+
+def trace_of(workload, n=6000, seed=0):
+    return generate_trace(workload.program, workload.behavior, n, seed=seed)
+
+
+class TestRegistry:
+    def test_all_build_and_run(self):
+        for name, build in MICRO_WORKLOADS.items():
+            workload = build()
+            assert workload.name == name
+            workload.program.cfg.validate()
+            stats = Simulator(PI4, trace_of(workload, 2000), "sequential").run()
+            assert stats.retired == 2000
+
+
+class TestStraightline:
+    def test_every_scheme_near_full_delivery(self):
+        workload = straightline()
+        trace = trace_of(workload, 8000)
+        for scheme in ("interleaved_sequential", "banked_sequential",
+                       "collapsing_buffer", "perfect"):
+            eir = measure_eir(trace, PI8, scheme).eir
+            assert eir > 0.85 * PI8.issue_rate, scheme
+
+    def test_sequential_limited_by_block_boundaries(self):
+        # Plain sequential cannot cross block boundaries; from a random
+        # offset it averages well under the full rate but above half.
+        workload = straightline()
+        eir = measure_eir(trace_of(workload, 8000), PI8, "sequential").eir
+        assert 0.5 * PI8.issue_rate < eir <= PI8.issue_rate
+
+
+class TestTinyLoop:
+    def test_backward_intra_block_defeats_collapsing(self):
+        """The tiny loop's back edge is backward intra-block: the
+        collapsing buffer gains nothing over banked sequential."""
+        workload = tiny_loop(body=2)
+        trace = trace_of(workload, 6000)
+        banked = measure_eir(trace, PI8, "banked_sequential").eir
+        collapsing = measure_eir(trace, PI8, "collapsing_buffer").eir
+        assert collapsing == pytest.approx(banked, rel=0.02)
+
+    def test_eir_bounded_by_loop_size(self):
+        # Each iteration supplies ~body+1 instructions at best.
+        workload = tiny_loop(body=2)
+        eir = measure_eir(trace_of(workload, 6000), PI8, "collapsing_buffer").eir
+        assert eir < 4.0
+
+
+class TestHammockFarm:
+    def test_collapsing_buffer_shines(self):
+        workload = hammock_farm(count=8, gap=2, taken_prob=0.92)
+        trace = trace_of(workload, 8000)
+        banked = measure_eir(trace, PI8, "banked_sequential").eir
+        collapsing = measure_eir(trace, PI8, "collapsing_buffer").eir
+        assert collapsing > banked * 1.25
+
+    def test_ordering_strict_here(self):
+        workload = hammock_farm()
+        trace = trace_of(workload, 8000)
+        eirs = [
+            measure_eir(trace, PI8, s).eir
+            for s in ("sequential", "banked_sequential",
+                      "collapsing_buffer", "perfect")
+        ]
+        assert eirs == sorted(eirs)
+
+
+class TestCallChain:
+    def test_ras_removes_return_mispredicts(self):
+        from repro.branch import ReturnAddressStack
+        from repro.fetch import create_fetch_unit
+
+        workload = call_chain(depth=5)
+        trace = trace_of(workload, 8000)
+        base = Simulator(PI8, trace, "collapsing_buffer", warmup=2000).run()
+        unit = create_fetch_unit(
+            "collapsing_buffer", PI8, trace,
+            return_stack=ReturnAddressStack(depth=16),
+        )
+        with_ras = Simulator(PI8, trace, unit, warmup=2000).run()
+        assert with_ras.fetch_mispredicts <= base.fetch_mispredicts
+        assert with_ras.ipc >= base.ipc
+
+
+class TestBranchStorm:
+    def test_unpredictable_branches_crush_everyone(self):
+        storm = branch_storm()
+        calm = hammock_farm(taken_prob=0.95)
+        for scheme in ("collapsing_buffer", "perfect"):
+            stormy = Simulator(
+                PI8, trace_of(storm, 6000), scheme, warmup=1500
+            ).run()
+            calm_run = Simulator(
+                PI8, trace_of(calm, 6000), scheme, warmup=1500
+            ).run()
+            assert stormy.ipc < calm_run.ipc
+            assert stormy.branch_mispredict_ratio > 0.15

@@ -1,0 +1,140 @@
+"""Model-based (stateful) property tests: hardware structures checked
+against trivially-correct reference models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch import BranchTargetBuffer
+from repro.memory import InstructionCache
+
+
+class _ReferenceBTB:
+    """Dictionary reference for the direct-mapped interleaved BTB."""
+
+    def __init__(self, entries: int, interleave: int) -> None:
+        self.entries = entries
+        self.interleave = interleave
+        self.per_bank = entries // interleave
+        self.slots: dict[tuple[int, int], dict] = {}
+
+    def _slot(self, address: int) -> tuple[int, int]:
+        return (
+            address % self.interleave,
+            (address // self.interleave) % self.per_bank,
+        )
+
+    def update(self, address, taken, target):
+        slot = self._slot(address)
+        entry = self.slots.get(slot)
+        if entry is not None and entry["tag"] == address:
+            entry["counter"] = (
+                min(3, entry["counter"] + 1)
+                if taken
+                else max(0, entry["counter"] - 1)
+            )
+            if taken:
+                entry["target"] = target
+        elif taken:
+            self.slots[slot] = {"tag": address, "target": target, "counter": 3}
+
+    def predict(self, address):
+        entry = self.slots.get(self._slot(address))
+        if entry is None or entry["tag"] != address:
+            return (False, False, -1)
+        return (True, entry["counter"] >= 2, entry["target"])
+
+
+_btb_ops = st.lists(
+    st.tuples(
+        st.booleans(),  # update (True) or predict (False)
+        st.integers(min_value=0, max_value=300),  # address
+        st.booleans(),  # taken
+        st.integers(min_value=0, max_value=300),  # target
+    ),
+    max_size=200,
+)
+
+
+class TestBTBAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(_btb_ops)
+    def test_matches_reference(self, operations):
+        real = BranchTargetBuffer(num_entries=32, interleave=4)
+        reference = _ReferenceBTB(entries=32, interleave=4)
+        for is_update, address, taken, target in operations:
+            if is_update:
+                real.update(address, taken, target)
+                reference.update(address, taken, target)
+            else:
+                prediction = real.predict(address)
+                hit, taken_ref, target_ref = reference.predict(address)
+                assert prediction.hit == hit
+                assert prediction.taken == taken_ref
+                if prediction.taken:
+                    assert prediction.target == target_ref
+
+
+class _ReferenceCache:
+    """Dictionary reference for the direct-mapped cache."""
+
+    def __init__(self, sets: int) -> None:
+        self.sets = sets
+        self.tags: dict[int, int] = {}
+
+    def fill(self, block):
+        self.tags[block % self.sets] = block
+
+    def probe(self, block):
+        return self.tags.get(block % self.sets) == block
+
+
+_cache_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["fill", "probe", "access_and_fill", "flush"]),
+        st.integers(min_value=0, max_value=500),
+    ),
+    max_size=200,
+)
+
+
+class TestCacheAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(_cache_ops)
+    def test_matches_reference(self, operations):
+        real = InstructionCache(size_bytes=256, block_bytes=16)  # 16 sets
+        reference = _ReferenceCache(sets=16)
+        for op, block in operations:
+            if op == "fill":
+                real.fill(block)
+                reference.fill(block)
+            elif op == "access_and_fill":
+                hit = real.access_and_fill(block)
+                assert hit == reference.probe(block)
+                reference.fill(block)
+            elif op == "flush":
+                real.flush()
+                reference.tags.clear()
+            else:
+                assert real.probe(block) == reference.probe(block)
+
+
+class TestPreciseStateProperty:
+    def test_future_file_matches_inorder_semantics(self):
+        """After a full simulation, the Future file's last writer per
+        register equals the last architectural writer in trace order —
+        the precise-interrupt guarantee of the ROB + Future file pair."""
+        from repro.machines import PI4
+        from repro.sim import Simulator
+        from repro.workloads import generate_trace, load_workload
+
+        workload = load_workload("ora")
+        trace = generate_trace(workload.program, workload.behavior, 4000)
+        sim = Simulator(PI4, trace, "collapsing_buffer")
+        sim.run()
+
+        expected: dict[int, int] = {}
+        for seq, instr in enumerate(trace.instructions):
+            if instr.dest >= 0:
+                expected[instr.dest] = seq
+        for reg, seq in expected.items():
+            assert sim.core.future_file.last_writer(reg) == seq

@@ -1,0 +1,89 @@
+"""Tests for the pipeline tracer and the calibration utilities."""
+
+import dataclasses
+
+import pytest
+
+from repro.machines import PI4
+from repro.sim import Simulator
+from repro.sim.pipetrace import trace_pipeline
+from repro.workloads import generate_trace, get_profile, load_workload
+from repro.workloads.calibration import (
+    measure_intra_block,
+    score_profile,
+    sweep_seeds,
+)
+
+
+class TestPipeTrace:
+    def make_trace(self, n=1500):
+        workload = load_workload("ora")
+        return generate_trace(workload.program, workload.behavior, n)
+
+    def test_matches_simulator_cycle_count(self):
+        trace = self.make_trace()
+        stats = Simulator(PI4, trace, "banked_sequential").run()
+        log = trace_pipeline(
+            PI4, trace, "banked_sequential", max_cycles=stats.cycles + 10
+        )
+        assert abs(len(log.events) - stats.cycles) <= 1
+
+    def test_event_totals_match_trace(self):
+        trace = self.make_trace(800)
+        log = trace_pipeline(PI4, trace, "sequential", max_cycles=10_000)
+        fetched = sum(len(e.fetched) for e in log.events)
+        retired = sum(e.retired for e in log.events)
+        assert fetched == len(trace.instructions)
+        assert retired == len(trace.instructions)
+
+    def test_stall_reasons_recorded(self):
+        trace = self.make_trace(800)
+        log = trace_pipeline(PI4, trace, "sequential", max_cycles=10_000)
+        reasons = {e.stall for e in log.events}
+        assert "resolve" in reasons  # mispredictions occur
+
+    def test_render(self):
+        trace = self.make_trace(300)
+        log = trace_pipeline(PI4, trace, "collapsing_buffer", max_cycles=60)
+        text = log.render(limit=20)
+        assert "pipeline trace" in text
+        assert "collapsing_buffer" in text
+        assert len(text.splitlines()) <= 22
+
+
+class TestCalibration:
+    def test_measure_intra_block_monotone(self):
+        workload = load_workload("espresso")
+        small, medium, large = measure_intra_block(workload, 20_000)
+        assert small <= medium + 3 <= large + 8
+
+    def test_score_profile_fp_skips_reduction(self):
+        score = score_profile(get_profile("nasa7"), trace_length=15_000)
+        assert score.taken_reduction is None
+        assert score.error >= 0
+
+    def test_score_profile_int_includes_reduction(self):
+        score = score_profile(get_profile("compress"), trace_length=15_000)
+        assert score.taken_reduction is not None
+        assert score.taken_reduction > 0
+
+    def test_sweep_orders_by_error(self):
+        profile = dataclasses.replace(get_profile("ora"))
+        scores = sweep_seeds(profile, candidates=3, trace_length=8_000)
+        errors = [score.error for score in scores]
+        assert errors == sorted(errors)
+        assert len({score.seed for score in scores}) == 3
+
+    def test_shipped_seed_is_competitive(self):
+        """The baked-in seed should score no worse than a small random
+        sample of alternatives (it was chosen from a larger sweep)."""
+        profile = get_profile("sc")
+        shipped = score_profile(profile, trace_length=20_000)
+        rivals = [
+            score_profile(
+                dataclasses.replace(profile, seed=profile.seed + 17 * k),
+                trace_length=20_000,
+            )
+            for k in (1, 2)
+        ]
+        assert shipped.error <= 2.5 * min(r.error for r in rivals)

@@ -1,0 +1,251 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.branch import BranchTargetBuffer, TwoBitCounter
+from repro.compiler import pad_all, reorder_program, schedule_block_body
+from repro.fetch import SCHEMES, create_fetch_unit
+from repro.isa import Instruction, NO_REG, OpClass, decode, encode
+from repro.machines import PI4
+from repro.memory import InstructionCache
+from repro.workloads import generate_trace, generate_workload, get_profile
+from repro.workloads.trace import DynamicTrace
+
+# -- strategies ---------------------------------------------------------------
+
+reg = st.integers(min_value=-1, max_value=62)
+alu_instr = st.builds(
+    Instruction,
+    st.sampled_from([OpClass.IALU, OpClass.FALU, OpClass.LOAD, OpClass.STORE]),
+    dest=reg,
+    src1=reg,
+    src2=reg,
+)
+
+
+@st.composite
+def dynamic_paths(draw):
+    """A plausible dynamic path: addresses with occasional taken jumps."""
+    length = draw(st.integers(min_value=2, max_value=24))
+    address = draw(st.integers(min_value=0, max_value=64))
+    specs = []
+    for _ in range(length):
+        jump = draw(st.booleans())
+        if jump:
+            target = address + draw(st.integers(min_value=1, max_value=20))
+            specs.append((address, OpClass.BR_COND, target))
+            address = target
+        else:
+            specs.append((address, OpClass.IALU, -1))
+            address += 1
+    instructions = [
+        Instruction(op, address=a, target=t) for a, op, t in specs
+    ]
+    return DynamicTrace(name="prop", seed=0, instructions=instructions)
+
+
+# -- encoding ----------------------------------------------------------------------
+
+
+class TestEncodingProperties:
+    @given(alu_instr)
+    def test_alu_roundtrip(self, instr):
+        back = decode(encode(instr))
+        assert (back.op, back.dest, back.src1, back.src2) == (
+            instr.op,
+            instr.dest,
+            instr.src1,
+            instr.src2,
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=-5000, max_value=5000),
+    )
+    def test_branch_displacement_roundtrip(self, address, displacement):
+        instr = Instruction(
+            OpClass.BR_COND, src1=3, address=address,
+            target=address + displacement,
+        )
+        back = decode(encode(instr), address=address)
+        assert back.target == instr.target
+
+
+# -- 2-bit counter ------------------------------------------------------------------
+
+
+class TestCounterProperties:
+    @given(st.lists(st.booleans(), max_size=64))
+    def test_state_always_in_range(self, outcomes):
+        counter = TwoBitCounter()
+        for taken in outcomes:
+            counter.update(taken)
+            assert 0 <= counter.state <= 3
+
+    @given(st.integers(min_value=0, max_value=3))
+    def test_two_updates_flip_any_state(self, state):
+        counter = TwoBitCounter(state)
+        counter.update(True)
+        counter.update(True)
+        assert counter.predict_taken()
+        counter.update(False)
+        counter.update(False)
+        assert not counter.predict_taken()
+
+
+# -- cache -----------------------------------------------------------------------------
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=4096), max_size=64))
+    def test_fill_then_probe_until_evicted(self, blocks):
+        cache = InstructionCache(256, 16)
+        for block in blocks:
+            cache.fill(block)
+            assert cache.probe(block)
+
+    @given(st.lists(st.integers(min_value=0, max_value=4096), max_size=64))
+    def test_hits_plus_misses_equals_accesses(self, blocks):
+        cache = InstructionCache(256, 16)
+        for block in blocks:
+            cache.access_and_fill(block)
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+
+# -- BTB --------------------------------------------------------------------------------
+
+
+class TestBTBProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2000),  # address
+                st.booleans(),  # taken
+                st.integers(min_value=0, max_value=2000),  # target
+            ),
+            max_size=128,
+        )
+    )
+    def test_prediction_never_crashes_and_targets_sane(self, updates):
+        btb = BranchTargetBuffer(num_entries=64, interleave=4)
+        for address, taken, target in updates:
+            btb.update(address, taken, target)
+            prediction = btb.predict(address)
+            if prediction.taken:
+                assert prediction.target >= 0
+
+
+# -- fetch schemes ---------------------------------------------------------------------------
+
+
+class TestFetchProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(dynamic_paths(), st.sampled_from(sorted(SCHEMES)))
+    def test_delivery_is_trace_prefix_and_makes_progress(self, trace, name):
+        """Any scheme, any path: delivered instructions are exactly the
+        next slice of the dynamic trace, and fetch always progresses."""
+        unit = create_fetch_unit(name, PI4, trace)
+        for block in range(0, 80):
+            unit.cache.fill(block)
+        position = 0
+        guard = 0
+        while position < len(trace.instructions) and guard < 500:
+            guard += 1
+            result = unit.fetch_cycle(position, PI4.issue_rate)
+            if result.stall_cycles:
+                continue
+            assert result.instructions, "no progress without a stall"
+            assert (
+                result.instructions
+                == trace.instructions[position : position + result.delivered]
+            )
+            for index in range(position, position + result.delivered):
+                instr = trace.instructions[index]
+                if instr.is_control:
+                    unit.train(
+                        instr, trace.is_taken(index), trace.next_address(index)
+                    )
+            position += result.delivered
+        assert position == len(trace.instructions)
+
+
+# -- scheduler ------------------------------------------------------------------------------------
+
+
+class TestSchedulerProperties:
+    @given(st.lists(alu_instr, max_size=16))
+    def test_permutation_and_dependency_order(self, body):
+        scheduled = schedule_block_body(body)
+        assert sorted(map(id, scheduled)) == sorted(map(id, body))
+        # RAW: every consumer appears after its most recent producer.
+        position = {id(instr): i for i, instr in enumerate(scheduled)}
+        last_writer: dict[int, Instruction] = {}
+        for instr in body:
+            for src in instr.sources():
+                producer = last_writer.get(src)
+                if producer is not None:
+                    assert position[id(producer)] < position[id(instr)]
+            if instr.dest != NO_REG:
+                last_writer[instr.dest] = instr
+
+
+# -- compiler passes on generated workloads ------------------------------------------------------
+
+
+def _logical_signature(trace):
+    return [
+        (i.op, i.dest, i.src1, i.src2)
+        for i in trace.instructions
+        if not i.is_control and not i.is_nop
+    ]
+
+
+class TestTransformProperties:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.sampled_from(["compress", "ora", "li", "eqntott"]),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_reordering_preserves_logical_stream(self, name, seed):
+        workload = generate_workload(get_profile(name))
+        result = reorder_program(workload.program, workload.behavior)
+        original = generate_trace(
+            workload.program, workload.behavior, 4000, seed=seed
+        )
+        reordered = generate_trace(
+            result.program, workload.behavior, 4000, seed=seed
+        )
+        a = _logical_signature(original)
+        b = _logical_signature(reordered)
+        n = min(len(a), len(b))
+        assert a[:n] == b[:n]
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.sampled_from(["compress", "ora"]),
+        st.sampled_from([4, 8, 16]),
+    )
+    def test_padding_preserves_logical_stream(self, name, block_words):
+        workload = generate_workload(get_profile(name))
+        padded = pad_all(workload.program, block_words)
+        original = generate_trace(workload.program, workload.behavior, 4000)
+        after = generate_trace(padded.program, workload.behavior, 5000)
+        a = _logical_signature(original)
+        b = _logical_signature(after)
+        n = min(len(a), len(b))
+        assert a[:n] == b[:n]
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.sampled_from(["compress", "ora"]), st.sampled_from([4, 8, 16]))
+    def test_pad_all_alignment_invariant(self, name, block_words):
+        workload = generate_workload(get_profile(name))
+        padded = pad_all(workload.program, block_words)
+        cfg = padded.program.cfg
+        for block_id in padded.program.block_order:
+            block = cfg.block(block_id)
+            if block.body and not block.body[0].is_nop:
+                start = padded.program.block_start[block_id]
+                assert start % block_words == 0

@@ -1,0 +1,183 @@
+"""Integration tests: full simulations of workloads on the machine models."""
+
+import pytest
+
+from repro.machines import MACHINES, PI4, PI8, PI12, get_machine
+from repro.sim import Simulator, measure_eir, run_workload
+from repro.sim.eir import EIRResult
+from repro.workloads import generate_trace, load_workload
+
+TRACE_LEN = 6000
+WARMUP = 1500
+
+
+def stats_for(bench, machine, scheme, **kwargs):
+    return run_workload(
+        bench, machine, scheme, max_instructions=TRACE_LEN, warmup=WARMUP, **kwargs
+    )
+
+
+class TestMachines:
+    def test_presets_match_table1(self):
+        assert PI4.issue_rate == 4 and PI4.window_size == 16
+        assert PI8.issue_rate == 8 and PI8.window_size == 24
+        assert PI12.issue_rate == 12 and PI12.window_size == 32
+        assert PI4.icache_bytes == 32 * 1024
+        assert PI12.icache_block_bytes == 64
+        assert PI4.speculation_depth == 2
+        assert PI12.num_fxu == 6
+        for machine in MACHINES:
+            assert machine.btb_entries == 1024
+            assert machine.fetch_penalty == 2
+
+    def test_words_per_block(self):
+        assert PI4.words_per_block == 4
+        assert PI8.words_per_block == 8
+        assert PI12.words_per_block == 16  # 64B rounded up past issue 12
+
+    def test_lookup(self):
+        assert get_machine("PI8") is PI8
+        assert get_machine("PI16").issue_rate == 16  # extension machine
+        with pytest.raises(KeyError):
+            get_machine("PI64")
+
+    def test_with_fetch_penalty(self):
+        shifter = PI4.with_fetch_penalty(3)
+        assert shifter.fetch_penalty == 3
+        assert PI4.fetch_penalty == 2
+
+    def test_invalid_configs_rejected(self):
+        from repro.machines import MachineConfig
+
+        with pytest.raises(ValueError, match="at least the issue rate"):
+            MachineConfig(
+                name="bad", issue_rate=8, window_size=24,
+                icache_bytes=64 * 1024, icache_block_bytes=16,
+                num_fxu=4, num_fpu=4, num_branch_units=4,
+                speculation_depth=4,
+            )
+
+
+class TestSimulator:
+    def test_all_instructions_retire(self):
+        stats = stats_for("compress", PI4, "sequential")
+        assert stats.retired + WARMUP == pytest.approx(TRACE_LEN, abs=16)
+
+    def test_ipc_within_physical_bounds(self):
+        for scheme in ("sequential", "collapsing_buffer", "perfect"):
+            stats = stats_for("espresso", PI8, scheme)
+            assert 0.1 < stats.ipc <= PI8.issue_rate
+
+    def test_scheme_ordering_on_integer_workload(self):
+        """The paper's central ordering, end to end."""
+        ipcs = {
+            scheme: stats_for("espresso", PI12, scheme).ipc
+            for scheme in (
+                "sequential",
+                "interleaved_sequential",
+                "banked_sequential",
+                "collapsing_buffer",
+                "perfect",
+            )
+        }
+        assert ipcs["sequential"] <= ipcs["interleaved_sequential"] * 1.02
+        assert ipcs["interleaved_sequential"] <= ipcs["banked_sequential"] * 1.02
+        assert ipcs["banked_sequential"] <= ipcs["collapsing_buffer"] * 1.02
+        assert ipcs["collapsing_buffer"] <= ipcs["perfect"] * 1.02
+
+    def test_determinism(self):
+        a = stats_for("li", PI4, "banked_sequential")
+        b = stats_for("li", PI4, "banked_sequential")
+        assert a.cycles == b.cycles
+        assert a.ipc == b.ipc
+
+    def test_higher_issue_rate_helps_fp(self):
+        small = stats_for("tomcatv", PI4, "perfect")
+        large = stats_for("tomcatv", PI12, "perfect")
+        assert large.ipc > small.ipc * 1.3
+
+    def test_fetch_penalty_hurts(self):
+        fast = stats_for("gcc", PI8, "collapsing_buffer")
+        machine = PI8.with_fetch_penalty(6)
+        workload = load_workload("gcc")
+        trace = generate_trace(workload.program, workload.behavior, TRACE_LEN)
+        slow = Simulator(machine, trace, "collapsing_buffer", warmup=WARMUP).run()
+        assert slow.ipc < fast.ipc
+
+    def test_recovery_at_retire_slower(self):
+        import dataclasses
+
+        workload = load_workload("sc")
+        trace = generate_trace(workload.program, workload.behavior, TRACE_LEN)
+        fast = Simulator(PI8, trace, "sequential", warmup=WARMUP).run()
+        retire_machine = dataclasses.replace(PI8, recovery_at_retire=True)
+        slow = Simulator(
+            retire_machine, trace, "sequential", warmup=WARMUP
+        ).run()
+        assert slow.ipc < fast.ipc
+
+    def test_cold_cache_slower_than_prewarmed(self):
+        workload = load_workload("eqntott")
+        trace = generate_trace(workload.program, workload.behavior, TRACE_LEN)
+        warm = Simulator(PI4, trace, "sequential", prewarm_cache=True).run()
+        cold = Simulator(PI4, trace, "sequential", prewarm_cache=False).run()
+        assert cold.cycles > warm.cycles
+        assert cold.fetch_cache_misses > warm.fetch_cache_misses
+
+    def test_stats_sanity(self):
+        stats = stats_for("compress", PI4, "collapsing_buffer")
+        assert stats.benchmark == "compress"
+        assert stats.machine == "PI4"
+        assert stats.scheme == "collapsing_buffer"
+        assert 0 <= stats.icache_miss_ratio < 0.5
+        assert 0 < stats.branch_mispredict_ratio < 0.5
+        assert stats.as_dict()["ipc"] == round(stats.ipc, 4)
+
+
+class TestEIR:
+    def test_perfect_eir_close_to_issue_rate(self):
+        workload = load_workload("nasa7")
+        trace = generate_trace(workload.program, workload.behavior, 10000)
+        result = measure_eir(trace, PI4, "perfect")
+        assert result.eir > 0.9 * PI4.issue_rate
+
+    def test_eir_ordering(self):
+        workload = load_workload("espresso")
+        trace = generate_trace(workload.program, workload.behavior, 10000)
+        eirs = [
+            measure_eir(trace, PI12, scheme).eir
+            for scheme in (
+                "sequential",
+                "interleaved_sequential",
+                "banked_sequential",
+                "collapsing_buffer",
+                "perfect",
+            )
+        ]
+        assert eirs == sorted(eirs)
+
+    def test_collapsing_buffer_alignment_efficiency(self):
+        """The paper's headline: CB aligns a high fraction of perfect."""
+        workload = load_workload("sc")
+        trace = generate_trace(workload.program, workload.behavior, 15000)
+        for machine in MACHINES:
+            perfect = measure_eir(trace, machine, "perfect").eir
+            cb = measure_eir(trace, machine, "collapsing_buffer").eir
+            assert cb / perfect > 0.70
+
+    def test_sequential_decays_with_issue_rate(self):
+        workload = load_workload("espresso")
+        trace = generate_trace(workload.program, workload.behavior, 15000)
+        ratios = []
+        for machine in MACHINES:
+            perfect = measure_eir(trace, machine, "perfect").eir
+            seq = measure_eir(trace, machine, "sequential").eir
+            ratios.append(seq / perfect)
+        assert ratios[0] > ratios[-1] + 0.1
+
+    def test_result_type(self):
+        workload = load_workload("ora")
+        trace = generate_trace(workload.program, workload.behavior, 5000)
+        result = measure_eir(trace, "PI4", "sequential")
+        assert isinstance(result, EIRResult)
+        assert result.cycles > 0 and result.delivered > 0

@@ -1,0 +1,116 @@
+"""Edge-case tests for the simulator harness itself."""
+
+import pytest
+
+from repro.fetch.base import FetchPlan, FetchResult, FetchUnit
+from repro.machines import PI4
+from repro.sim import SimulationDeadlock, Simulator
+from repro.workloads import load_workload, generate_trace
+from repro.workloads.micro import straightline
+
+
+class _StarvingFetch(FetchUnit):
+    """A fetch unit that never delivers — must trip deadlock detection."""
+
+    name = "starving"
+
+    def plan(self, fetch_address, limit):
+        raise NotImplementedError
+
+    def fetch_cycle(self, position, limit):
+        return FetchResult([], stall_cycles=1)
+
+
+class _EmptyPlanFetch(FetchUnit):
+    """A buggy scheme whose plan diverges at its own fetch address."""
+
+    name = "broken"
+
+    def plan(self, fetch_address, limit):
+        return FetchPlan(addresses=[fetch_address + 1], next_address=-1)
+
+
+class TestHarnessGuards:
+    def test_deadlock_detected(self):
+        workload = straightline()
+        trace = generate_trace(workload.program, workload.behavior, 200)
+        sim = Simulator(PI4, trace, _StarvingFetch(PI4, trace))
+        sim.MAX_CPI = 2  # shrink the budget so the test is fast
+        with pytest.raises(SimulationDeadlock, match="no forward progress"):
+            sim.run()
+
+    def test_divergent_plan_asserts(self):
+        workload = straightline()
+        trace = generate_trace(workload.program, workload.behavior, 100)
+        unit = _EmptyPlanFetch(PI4, trace)
+        unit.cache.fill(0)
+        with pytest.raises(AssertionError, match="own fetch address"):
+            unit.fetch_cycle(0, 4)
+
+    def test_fetch_cycle_at_end_of_trace(self):
+        workload = straightline()
+        trace = generate_trace(workload.program, workload.behavior, 50)
+        from repro.fetch import create_fetch_unit
+
+        unit = create_fetch_unit("sequential", PI4, trace)
+        result = unit.fetch_cycle(len(trace.instructions), 4)
+        assert result.instructions == []
+        assert not result.mispredict
+
+    def test_zero_limit_delivers_nothing(self):
+        workload = straightline()
+        trace = generate_trace(workload.program, workload.behavior, 50)
+        from repro.fetch import create_fetch_unit
+
+        unit = create_fetch_unit("sequential", PI4, trace)
+        assert unit.fetch_cycle(0, 0).instructions == []
+
+    def test_warmup_clamped_to_half_trace(self):
+        workload = load_workload("ora")
+        trace = generate_trace(workload.program, workload.behavior, 1000)
+        sim = Simulator(PI4, trace, "sequential", warmup=100_000)
+        assert sim.warmup == 500
+        stats = sim.run()
+        # The snapshot lands at the first cycle with >= 500 retired, so
+        # the measured region is 500 instructions minus the overshoot.
+        assert 500 - PI4.retire_width <= stats.retired <= 500
+
+    def test_stats_deltas_exclude_warmup(self):
+        workload = load_workload("ora")
+        trace = generate_trace(workload.program, workload.behavior, 4000)
+        full = Simulator(PI4, trace, "sequential", warmup=0).run()
+        trimmed = Simulator(PI4, trace, "sequential", warmup=2000).run()
+        assert trimmed.retired < full.retired
+        assert trimmed.cycles < full.cycles
+        assert trimmed.delivered <= full.delivered
+
+
+class TestWrongPathFetch:
+    def test_wrong_path_mode_touches_cache(self):
+        import dataclasses
+
+        from repro.workloads import load_workload
+
+        workload = load_workload("gcc")
+        trace = generate_trace(workload.program, workload.behavior, 8000)
+        small = dataclasses.replace(PI4, icache_bytes=8 * 1024)
+        sim = Simulator(
+            small, trace, "collapsing_buffer", wrong_path_fetch=True
+        )
+        stats = sim.run()
+        assert sim.wrong_path_cycles > 0
+        assert stats.retired == 8000
+
+    def test_correct_path_timeline_unchanged_when_cache_ample(self):
+        """With no cache pressure, wrong-path fetch must not change the
+        correct-path timeline at all."""
+        from repro.workloads import load_workload
+
+        workload = load_workload("ora")
+        trace = generate_trace(workload.program, workload.behavior, 6000)
+        base = Simulator(PI4, trace, "banked_sequential").run()
+        polluted = Simulator(
+            PI4, trace, "banked_sequential", wrong_path_fetch=True
+        ).run()
+        assert polluted.cycles == base.cycles
+        assert polluted.ipc == base.ipc

@@ -1,0 +1,190 @@
+"""Tests for workload profiles, generation, behaviour, and traces."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    BehaviorModel,
+    BranchBehavior,
+    FP_BENCHMARKS,
+    INTEGER_BENCHMARKS,
+    WorkloadProfile,
+    generate_trace,
+    generate_workload,
+    get_profile,
+    load_workload,
+)
+from repro.workloads.profiles import FP_CLASS, INT_CLASS
+
+
+class TestProfiles:
+    def test_suite_composition(self):
+        # The paper: six SPECint92 + bison/flex/mpeg_play, six SPECfp92.
+        assert len(INTEGER_BENCHMARKS) == 9
+        assert len(FP_BENCHMARKS) == 6
+        assert "compress" in INTEGER_BENCHMARKS
+        assert "tomcatv" in FP_BENCHMARKS
+
+    def test_get_profile(self):
+        assert get_profile("gcc").workload_class == INT_CLASS
+        assert get_profile("nasa7").workload_class == FP_CLASS
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_profile("dhrystone")
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError, match="bad workload class"):
+            WorkloadProfile(
+                name="x", workload_class="vector", seed=1, static_size=100,
+                num_functions=2, w_straight=1, w_if_then=0, w_if_then_else=0,
+                w_loop=0, w_call=0, straight_block_size=(1, 2),
+                hammock_size=(1, 2), else_size=(1, 2),
+                loop_body_budget=(4, 8), max_loop_depth=1,
+                loop_continue_prob=(0.5, 0.6), hammock_taken_prob=(0.5, 0.6),
+                if_else_taken_prob=(0.5, 0.6), weakly_biased_fraction=0.1,
+                fp_fraction=0.0, load_fraction=0.2, store_fraction=0.1,
+                dep_window=4,
+            )
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = generate_workload(get_profile("compress"))
+        b = generate_workload(get_profile("compress"))
+        assert a.program.num_instructions == b.program.num_instructions
+        assert [i.op for i in a.program.instructions] == [
+            i.op for i in b.program.instructions
+        ]
+
+    def test_static_size_near_target(self):
+        for name in ("compress", "tomcatv"):
+            workload = load_workload(name)
+            target = workload.profile.static_size
+            assert 0.5 * target <= workload.program.num_instructions <= 2.5 * target
+
+    def test_every_benchmark_generates_and_validates(self):
+        for name in ALL_BENCHMARKS:
+            workload = load_workload(name)
+            workload.program.cfg.validate()
+            # Every conditional branch has behaviour.
+            for block in workload.program.cfg.conditional_blocks():
+                assert block.branch_key in workload.behavior.branches
+
+    def test_class_character(self):
+        """Integer code is branchier; FP code has more FP operations."""
+        compress = load_workload("compress")
+        nasa7 = load_workload("nasa7")
+        tr_int = generate_trace(compress.program, compress.behavior, 20000)
+        tr_fp = generate_trace(nasa7.program, nasa7.behavior, 20000)
+        int_branchiness = tr_int.control_count() / len(tr_int)
+        fp_branchiness = tr_fp.control_count() / len(tr_fp)
+        assert int_branchiness > 2 * fp_branchiness
+
+
+class TestBehavior:
+    def test_stationary_probability(self):
+        rng = random.Random(42)
+        for burst in (0.0, 0.5, 0.9):
+            behavior = BranchBehavior(probability=0.7, burstiness=burst)
+            taken = sum(behavior.decide(rng) for _ in range(20000))
+            assert taken / 20000 == pytest.approx(0.7, abs=0.03)
+
+    def test_burstiness_reduces_changes(self):
+        rng = random.Random(1)
+
+        def change_rate(burst):
+            behavior = BranchBehavior(probability=0.6, burstiness=burst)
+            outcomes = [behavior.decide(rng) for _ in range(20000)]
+            return sum(
+                a != b for a, b in zip(outcomes, outcomes[1:])
+            ) / len(outcomes)
+
+        assert change_rate(0.9) < change_rate(0.0) / 3
+
+    def test_reset_restores_determinism(self):
+        behavior = BranchBehavior(probability=0.5, burstiness=0.8)
+        rng = random.Random(3)
+        first = [behavior.decide(rng) for _ in range(50)]
+        behavior.reset()
+        rng = random.Random(3)
+        second = [behavior.decide(rng) for _ in range(50)]
+        assert first == second
+
+    def test_model_flip_handling(self):
+        from repro.program import BasicBlock
+
+        model = BehaviorModel.from_probabilities({7: 1.0})
+        block = BasicBlock(branch_key=7, taken_id=1, fall_id=2)
+        rng = random.Random(0)
+        assert model.decide_successor(block, rng) == 1
+        block.flipped = True
+        model.reset()
+        assert model.decide_successor(block, rng) == 2
+
+    def test_missing_behaviour_raises(self):
+        from repro.program import BasicBlock
+
+        model = BehaviorModel()
+        block = BasicBlock(branch_key=9)
+        with pytest.raises(KeyError):
+            model.decide_successor(block, random.Random(0))
+
+
+class TestTraces:
+    def test_trace_determinism(self):
+        workload = load_workload("li")
+        a = generate_trace(workload.program, workload.behavior, 5000, seed=4)
+        b = generate_trace(workload.program, workload.behavior, 5000, seed=4)
+        assert [i.address for i in a.instructions] == [
+            i.address for i in b.instructions
+        ]
+
+    def test_different_seeds_differ(self):
+        workload = load_workload("li")
+        a = generate_trace(workload.program, workload.behavior, 5000, seed=1)
+        b = generate_trace(workload.program, workload.behavior, 5000, seed=2)
+        assert [i.address for i in a.instructions] != [
+            i.address for i in b.instructions
+        ]
+
+    def test_exact_length(self):
+        workload = load_workload("ora")
+        trace = generate_trace(workload.program, workload.behavior, 1234)
+        assert len(trace) == 1234
+
+    def test_control_flow_consistency(self):
+        """Every non-control instruction is followed by address+1; control
+        transfers land on their target or fall through."""
+        workload = load_workload("espresso")
+        trace = generate_trace(workload.program, workload.behavior, 8000)
+        for i, instr in enumerate(trace.instructions[:-1]):
+            nxt = trace.next_address(i)
+            if not instr.is_control:
+                assert nxt == instr.address + 1
+            elif instr.is_conditional_branch:
+                assert nxt in (instr.address + 1, instr.target)
+            elif instr.op.name in ("JUMP", "CALL"):
+                assert nxt == instr.target
+
+    def test_restart_on_halt(self):
+        workload = load_workload("ora")
+        trace = generate_trace(
+            workload.program, workload.behavior, 50000, restart_on_halt=True
+        )
+        assert len(trace) == 50000
+
+    def test_rejects_bad_budget(self):
+        workload = load_workload("ora")
+        with pytest.raises(ValueError):
+            generate_trace(workload.program, workload.behavior, 0)
+
+    def test_taken_branch_count_consistency(self):
+        workload = load_workload("flex")
+        trace = generate_trace(workload.program, workload.behavior, 6000)
+        taken = sum(
+            1
+            for i, instr in enumerate(trace.instructions)
+            if instr.is_control and trace.is_taken(i)
+        )
+        assert trace.taken_branch_count() == taken
