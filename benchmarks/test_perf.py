@@ -1,0 +1,129 @@
+"""Plain-timer performance regression tests (no pytest-benchmark).
+
+These guard the two perf properties the hot-path overhaul delivers:
+
+* raw simulator throughput (simulated instructions per wall second) must
+  stay above a floor chosen well below typical measurements, so only a
+  genuine regression — not scheduler noise — trips it;
+* a warm persistent-cache run must be a small fraction of the cold run.
+
+Timings are best-of-N to shrug off CI noise.  Results are recorded in
+``BENCH_sim_throughput.json`` at the repo root.  Deselect with
+``-m "not slow"``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.machines.presets import get_machine
+from repro.sim.simulator import Simulator
+from repro.workloads.suite import load_workload
+from repro.workloads.trace import generate_trace
+
+pytestmark = pytest.mark.slow
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_sim_throughput.json"
+
+#: Conservative: a 1-vCPU container measures ~100-150k insn/s after the
+#: overhaul (~60k before it); noise is large but not 3x.
+MIN_INSN_PER_SEC = 40_000
+
+
+def _best_of(n: int, func):
+    """(best_seconds, last_result) over *n* timed calls."""
+    best = float("inf")
+    result = None
+    for _ in range(n):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_FILE.exists():
+        try:
+            data = json.loads(BENCH_FILE.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+
+
+def test_simulator_throughput_floor():
+    workload = load_workload("espresso")
+    trace = generate_trace(workload.program, workload.behavior, 16_000)
+    machine = get_machine("PI4")
+
+    def simulate():
+        return Simulator(machine, trace, "collapsing_buffer").run()
+
+    best, stats = _best_of(3, simulate)
+    throughput = stats.retired / best
+    _record(
+        "single_simulation",
+        {
+            "benchmark": "espresso",
+            "machine": "PI4",
+            "scheme": "collapsing_buffer",
+            "instructions": stats.retired,
+            "best_seconds": round(best, 4),
+            "instructions_per_second": round(throughput),
+            "floor": MIN_INSN_PER_SEC,
+        },
+    )
+    assert throughput > MIN_INSN_PER_SEC, (
+        f"simulator throughput regressed: {throughput:,.0f} insn/s "
+        f"(floor {MIN_INSN_PER_SEC:,})"
+    )
+
+
+def test_persistent_cache_accelerates_rerun(tmp_path, monkeypatch):
+    from repro.experiments.common import eir_stats, sim_stats
+    from repro.sim.batch import run_batch_report, suite_jobs
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    jobs = suite_jobs(
+        ("espresso", "li"),
+        ("PI4", "PI12"),
+        ("sequential", "collapsing_buffer"),
+        length=8_000,
+        warmup=1_600,
+    )
+
+    def run_suite():
+        # Drop the per-process memo so the rerun exercises the disk
+        # cache, as a fresh process (CI job, batch worker) would.
+        sim_stats.cache_clear()
+        eir_stats.cache_clear()
+        return run_batch_report(jobs, processes=1)
+
+    cold = run_suite()
+    warm = run_suite()
+    ratio = warm.wall_seconds / cold.wall_seconds
+    _record(
+        "persistent_cache",
+        {
+            "jobs": len(jobs),
+            "cold_seconds": round(cold.wall_seconds, 4),
+            "warm_seconds": round(warm.wall_seconds, 4),
+            "warm_over_cold": round(ratio, 4),
+            "cold_instructions_per_second": round(
+                cold.instructions_per_second
+            ),
+        },
+    )
+    assert [s.ipc for s in warm.results] == [s.ipc for s in cold.results]
+    # Acceptance: warm < 10% of cold; assert 50% so noise can't flake.
+    assert ratio < 0.5, (
+        f"warm cache rerun not fast enough: {warm.wall_seconds:.3f}s vs "
+        f"cold {cold.wall_seconds:.3f}s"
+    )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.branch.counters import TwoBitCounter
+from repro.branch.counters import WEAK_TAKEN, TwoBitCounter
 
 
 @dataclass(slots=True)
@@ -30,6 +30,9 @@ class BTBEntry:
     is_unconditional: bool = False
     is_call: bool = False
     is_return: bool = False
+    #: Memoized hit prediction; entry state only changes in
+    #: :meth:`BranchTargetBuffer.update`, which clears it.
+    cached: "BTBPrediction | None" = None
 
     @property
     def valid(self) -> bool:
@@ -55,6 +58,11 @@ class BTBPrediction:
     is_conditional: bool = False
     is_call: bool = False
     is_return: bool = False
+
+
+#: Shared miss prediction: returned for every BTB miss.  Treated as
+#: immutable by all callers (they replace predictions, never mutate).
+_MISS = BTBPrediction(hit=False, taken=False, target=-1)
 
 
 @dataclass(slots=True)
@@ -97,20 +105,30 @@ class BranchTargetBuffer:
 
     def predict(self, address: int) -> BTBPrediction:
         """Predict the instruction at *address* (one bank lookup)."""
-        self.stats.lookups += 1
-        entry = self._locate(address)
-        if not entry.valid or entry.tag != address:
-            return BTBPrediction(hit=False, taken=False, target=-1)
-        self.stats.hits += 1
-        taken = entry.is_unconditional or entry.counter.predict_taken()
-        return BTBPrediction(
-            hit=True,
-            taken=taken,
-            target=entry.target,
-            is_conditional=not entry.is_unconditional,
-            is_call=entry.is_call,
-            is_return=entry.is_return,
-        )
+        stats = self.stats
+        stats.lookups += 1
+        # _locate() inlined: this is called for every planned fetch slot.
+        interleave = self.interleave
+        entry = self._banks[address % interleave][
+            (address // interleave) % self.entries_per_bank
+        ]
+        # Addresses are non-negative, so an invalid entry (tag -1) can
+        # never equal one — the tag comparison covers the valid check.
+        if entry.tag != address:
+            return _MISS
+        stats.hits += 1
+        prediction = entry.cached
+        if prediction is None:
+            unconditional = entry.is_unconditional
+            prediction = entry.cached = BTBPrediction(
+                hit=True,
+                taken=unconditional or entry.counter.state >= WEAK_TAKEN,
+                target=entry.target,
+                is_conditional=not unconditional,
+                is_call=entry.is_call,
+                is_return=entry.is_return,
+            )
+        return prediction
 
     def predict_block(self, block_start: int) -> list[BTBPrediction]:
         """Predict every slot of the cache block starting at *block_start*.
@@ -138,6 +156,7 @@ class BranchTargetBuffer:
         """
         self.stats.updates += 1
         entry = self._locate(address)
+        entry.cached = None
         if entry.valid and entry.tag == address:
             entry.counter.update(taken)
             if taken:

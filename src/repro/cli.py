@@ -8,6 +8,7 @@ Commands:
 * ``characterize [BENCH ...]`` — workload characterisation table.
 * ``experiment NAME [NAME ...]`` — regenerate paper tables/figures.
 * ``ablation NAME [NAME ...]`` — run the beyond-paper ablation studies.
+* ``sweep`` — batch-simulate a grid of configurations (``--jobs N``).
 * ``report`` — every paper artifact, in order.
 """
 
@@ -120,6 +121,36 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.batch import run_batch_report, suite_jobs
+
+    benchmarks = tuple(args.benchmarks or ALL_BENCHMARKS)
+    machines = tuple(args.machines or [m.name for m in MACHINES])
+    schemes = tuple(args.schemes or HARDWARE_SCHEMES)
+    jobs = suite_jobs(
+        benchmarks,
+        machines,
+        schemes,
+        length=args.length,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    report = run_batch_report(jobs, processes=args.jobs)
+    header = f"{'benchmark':12s} {'machine':8s} {'scheme':24s} {'IPC':>6s}"
+    print(header)
+    for job, stats in zip(jobs, report.results):
+        print(
+            f"{job.benchmark:12s} {job.machine:8s} {job.scheme:24s} "
+            f"{stats.ipc:6.2f}"
+        )
+    print(
+        f"\n{len(jobs)} simulations in {report.wall_seconds:.2f}s "
+        f"({report.instructions_per_second:,.0f} simulated instructions/s, "
+        f"{report.processes} process(es))"
+    )
+    return 0
+
+
 def _cmd_pipetrace(args: argparse.Namespace) -> int:
     from repro.sim.pipetrace import trace_pipeline
 
@@ -190,6 +221,24 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--json", action="store_true")
     ablation.add_argument("--scale", type=float, default=1.0)
     ablation.set_defaults(func=_cmd_ablation)
+
+    sweep = sub.add_parser(
+        "sweep", help="batch-simulate a benchmark x machine x scheme grid"
+    )
+    sweep.add_argument("--benchmarks", nargs="*", metavar="BENCH")
+    sweep.add_argument("--machines", nargs="*", metavar="MACHINE")
+    sweep.add_argument("--schemes", nargs="*", metavar="SCHEME")
+    sweep.add_argument("--length", type=int, default=20_000)
+    sweep.add_argument("--warmup", type=int, default=4_000)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: CPU count; 1 = serial)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     pipetrace = sub.add_parser(
         "pipetrace", help="cycle-by-cycle pipeline trace"

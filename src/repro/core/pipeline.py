@@ -16,12 +16,13 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from repro.core.regfiles import FutureFile
+from repro.core.regfiles import READY, FutureFile
 from repro.core.rob import EntryState, ReorderBuffer, ROBEntry
 from repro.core.units import FunctionalUnits, ResultBuses
-from repro.core.window import SchedulingWindow
+from repro.core.window import SchedulingWindow, WindowEntry
+from repro.isa.registers import NO_REG
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import OpClass
+from repro.isa.opcodes import LATENCY_FOR_OP, UNIT_FOR_OP, OpClass
 from repro.machines.config import MachineConfig
 
 
@@ -53,6 +54,7 @@ class ExecutionCore:
         self._next_seq = 0
         #: last store still in flight (memory_ordering="conservative").
         self._pending_store_seq = -1
+        self._conservative = config.memory_ordering == "conservative"
 
     # -- dispatch ------------------------------------------------------------
 
@@ -63,7 +65,12 @@ class ExecutionCore:
         branch — the machine's speculation depth (PI4 speculates beyond 2
         branches, PI8 beyond 4, PI12 beyond 6).
         """
-        if self.window.full or self.rob.full:
+        window = self.window
+        rob = self.rob
+        if (
+            window._occupied >= window.size
+            or len(rob._entries) >= rob.capacity
+        ):
             self.stats.window_full_stalls += 1
             return False
         if (
@@ -86,44 +93,184 @@ class ExecutionCore:
 
         Call :meth:`can_dispatch` first; this raises on overflow.
         """
+        seq = self._next_seq
+        self._next_seq = seq + 1
         entry = ROBEntry(
-            seq=self._next_seq,
-            instruction=instruction,
-            trace_index=trace_index,
-            fetch_mispredicted=fetch_mispredicted,
-            actual_taken=actual_taken,
-            actual_target=actual_target,
+            seq,
+            instruction,
+            trace_index,
+            EntryState.WAITING,
+            fetch_mispredicted,
+            actual_taken,
+            actual_target,
         )
-        self._next_seq += 1
-        self.rob.append(entry)
+        # ROB append inlined (overflow already excluded by can_dispatch).
+        rob_entries = self.rob._entries
+        if len(rob_entries) >= self.rob.capacity:
+            raise OverflowError("reorder buffer overflow")
+        rob_entries.append(entry)
+        op = instruction.op
         extra: tuple[int, ...] = ()
-        if (
-            self.config.memory_ordering == "conservative"
-            and instruction.op in (OpClass.LOAD, OpClass.STORE)
-            and self._pending_store_seq >= 0
-        ):
-            # No disambiguation hardware: memory operations wait for the
-            # previous store to complete.
-            extra = (self._pending_store_seq,)
-        self.window.dispatch(entry, extra_dependencies=extra)
-        if instruction.op is OpClass.BR_COND:
+        if self._conservative:
+            if (
+                op in (OpClass.LOAD, OpClass.STORE)
+                and self._pending_store_seq >= 0
+            ):
+                # No disambiguation hardware: memory operations wait for
+                # the previous store to complete.
+                extra = (self._pending_store_seq,)
+            if op is OpClass.STORE:
+                self._pending_store_seq = seq
+        self.window.dispatch(entry, extra)
+        if op is OpClass.BR_COND:
             self.unresolved_branches += 1
-        if (
-            self.config.memory_ordering == "conservative"
-            and instruction.op is OpClass.STORE
-        ):
-            self._pending_store_seq = entry.seq
         self.stats.dispatched += 1
         return entry
 
+    def dispatch_queue(
+        self,
+        head: int,
+        tail: int,
+        instructions,
+        flagged_index: int,
+        is_taken,
+        next_addr,
+    ) -> int:
+        """Dispatch trace indices ``[head, tail)`` until blocked — one
+        cycle's worth.  Returns the new head.
+
+        The fetch queue is always a contiguous index range (fetch
+        delivers consecutive correct-path instructions), so the
+        simulator's fast loop passes two ints instead of a queue.  Batch
+        form of ``can_dispatch`` + ``dispatch`` + ``window.dispatch``:
+        one call per cycle instead of three per instruction, with the
+        renaming inlined.  The stall accounting is identical — the first
+        blocked head charges exactly one stall counter and ends the
+        cycle (window/ROB capacity is checked before speculation depth,
+        the ``can_dispatch`` order).
+        """
+        stats = self.stats
+        window = self.window
+        window_size = window.size
+        occupied = window._occupied
+        ready_append = window._ready.append
+        producer = window.messy._producer
+        consumers = window._consumers
+        rob_entries = self.rob._entries
+        rob_capacity = self.rob.capacity
+        conservative = self._conservative
+        speculation_depth = self.config.speculation_depth
+        waiting = EntryState.WAITING
+        br_cond = OpClass.BR_COND
+        load = OpClass.LOAD
+        store = OpClass.STORE
+        seq = self._next_seq
+        start = head
+        while head < tail:
+            if (
+                occupied >= window_size
+                or len(rob_entries) >= rob_capacity
+            ):
+                stats.window_full_stalls += 1
+                break
+            index = head
+            instruction = instructions[index]
+            op = instruction.op
+            if (
+                op is br_cond
+                and self.unresolved_branches >= speculation_depth
+            ):
+                stats.speculation_stalls += 1
+                break
+            entry = ROBEntry(
+                seq,
+                instruction,
+                index,
+                waiting,
+                index == flagged_index,
+                is_taken[index],
+                next_addr[index],
+            )
+            rob_entries.append(entry)
+            # The entry is its own reservation station (no wrapper).
+            pending = 0
+            src = instruction.src1
+            if src != NO_REG:
+                tag = producer[src]
+                if tag != READY:
+                    pending += 1
+                    consumers.setdefault(tag, []).append(entry)
+            src = instruction.src2
+            if src != NO_REG:
+                tag = producer[src]
+                if tag != READY:
+                    pending += 1
+                    consumers.setdefault(tag, []).append(entry)
+            if conservative and (op is load or op is store):
+                if self._pending_store_seq >= 0:
+                    pending += 1
+                    consumers.setdefault(
+                        self._pending_store_seq, []
+                    ).append(entry)
+                if op is store:
+                    self._pending_store_seq = seq
+            entry.pending_operands = pending
+            dest = instruction.dest
+            if dest != NO_REG:
+                producer[dest] = seq
+            occupied += 1
+            if pending == 0:
+                ready_append(entry)
+            if op is br_cond:
+                self.unresolved_branches += 1
+            seq += 1
+            head += 1
+        window._occupied = occupied
+        self._next_seq = seq
+        stats.dispatched += head - start
+        return head
+
     # -- cycle phases ------------------------------------------------------------
+
+    def retire_fast(self) -> bool:
+        """Retire up to the retire width; returns True when a retired
+        entry was a flagged fetch misprediction.
+
+        Used by the simulator's fast loop, which only needs the flag (to
+        restart fetch under ``recovery_at_retire``) — not the entry list
+        :meth:`do_retire` builds.
+        """
+        entries = self.rob._entries
+        width = self.config.retire_width
+        done = EntryState.DONE
+        last_writer = self.future_file._last_retired_writer
+        flagged = False
+        n = 0
+        while n < width and entries and entries[0].state is done:
+            entry = entries.popleft()
+            dest = entry.instruction.dest
+            if dest != NO_REG:
+                last_writer[dest] = entry.seq
+            if entry.fetch_mispredicted:
+                flagged = True
+            n += 1
+        self.stats.retired += n
+        return flagged
 
     def do_retire(self, cycle: int) -> list[ROBEntry]:
         """Retire up to the retire width from the ROB head, updating the
         Future file (precise state)."""
-        retired = self.rob.retire(self.config.retire_width)
+        entries = self.rob._entries
+        width = self.config.retire_width
+        done = EntryState.DONE
+        retired: list[ROBEntry] = []
+        while len(retired) < width and entries and entries[0].state is done:
+            retired.append(entries.popleft())
+        last_writer = self.future_file._last_retired_writer
         for entry in retired:
-            self.future_file.retire_write(entry.instruction.dest, entry.seq)
+            dest = entry.instruction.dest
+            if dest != NO_REG:
+                last_writer[dest] = entry.seq
         self.stats.retired += len(retired)
         return retired
 
@@ -135,18 +282,43 @@ class ExecutionCore:
         flagged mispredictions).
         """
         inflight = self._inflight
-        due = sum(1 for item in inflight if item[0] <= cycle)
-        granted = self.buses.grant(due)
+        heappop = heapq.heappop
+        window = self.window
+        consumers = window._consumers
+        producer = window.messy._producer
+        ready_append = window._ready.append
+        num_buses = self.buses.num_buses
+        done = EntryState.DONE
+        br_cond = OpClass.BR_COND
         completed: list[ROBEntry] = []
-        for _ in range(granted):
-            _, seq, entry = heapq.heappop(inflight)
-            entry.state = EntryState.DONE
-            self.window.writeback(seq, entry.instruction.dest)
-            if entry.instruction.op is OpClass.BR_COND:
+        # Pop due completions oldest-first straight off the heap; counting
+        # every due entry up front would rescan the whole in-flight list
+        # each cycle.  Bus arbitration grants the `num_buses` oldest.
+        while len(completed) < num_buses and inflight and inflight[0][0] <= cycle:
+            _, seq, entry = heappop(inflight)
+            entry.state = done
+            # window.writeback inlined: wake the consumers, free the tag.
+            waiters = consumers.pop(seq, None)
+            if waiters:
+                for waiter in waiters:
+                    waiter.pending_operands -= 1
+                    if waiter.pending_operands == 0:
+                        ready_append(waiter)
+            instruction = entry.instruction
+            dest = instruction.dest
+            if dest != NO_REG and producer[dest] == seq:
+                producer[dest] = READY
+            if instruction.op is br_cond:
                 self.unresolved_branches -= 1
             if seq == self._pending_store_seq:
                 self._pending_store_seq = -1
             completed.append(entry)
+        if inflight and inflight[0][0] <= cycle:
+            # Surplus completions slip to the next cycle (rare); only then
+            # is the full scan needed, for the contention statistics.
+            self.buses.grant(
+                len(completed) + sum(1 for item in inflight if item[0] <= cycle)
+            )
         return completed
 
     def do_fire(self, cycle: int) -> int:
@@ -154,24 +326,53 @@ class ExecutionCore:
 
         Returns the number fired.  Oldest-ready-first arbitration.
         """
-        self.units.begin_cycle()
+        units = self.units
+        # begin_cycle + try_issue inlined: one dict probe per ready entry.
+        used = units._used
+        for unit_type in used:
+            used[unit_type] = 0
         ready = self.window.take_ready()
+        if not ready:
+            return 0
+        capacity = units.capacity
+        unit_stats = units.stats
+        issues = unit_stats.issues
+        unit_for_op = UNIT_FOR_OP
+        heappush = heapq.heappush
+        inflight = self._inflight
+        latency_for_op = LATENCY_FOR_OP
+        executing = EntryState.EXECUTING
         not_issued = []
         fired = 0
-        for wentry in ready:
-            entry = wentry.rob_entry
-            if self.units.try_issue(entry.instruction.op):
-                entry.state = EntryState.EXECUTING
-                result_cycle = cycle + entry.instruction.latency
-                heapq.heappush(self._inflight, (result_cycle, entry.seq, entry))
+        for entry in ready:
+            op = entry.instruction.op
+            unit_type = unit_for_op[op]
+            if used[unit_type] < capacity[unit_type]:
+                used[unit_type] += 1
+                issues[unit_type] += 1
+                entry.state = executing
+                heappush(inflight, (cycle + latency_for_op[op], entry.seq, entry))
                 fired += 1
             else:
-                not_issued.append(wentry)
+                unit_stats.structural_stalls += 1
+                not_issued.append(entry)
         if not_issued:
             self.window.put_back(not_issued)
         return fired
 
     # -- state -----------------------------------------------------------------------
+
+    def next_writeback_cycle(self) -> int | None:
+        """Cycle of the earliest pending writeback, or ``None`` when
+        nothing is in flight (the simulator's event-skipping loop jumps
+        straight to this cycle when the machine is otherwise idle)."""
+        inflight = self._inflight
+        return inflight[0][0] if inflight else None
+
+    @property
+    def has_ready(self) -> bool:
+        """True when some window entry could fire this cycle (O(1))."""
+        return self.window.ready_count > 0
 
     @property
     def drained(self) -> bool:

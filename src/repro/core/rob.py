@@ -37,6 +37,9 @@ class ROBEntry:
         actual_taken / actual_target: Resolved outcome of a control
             transfer (recorded at dispatch from the trace oracle, observed
             by the predictors only at writeback).
+        pending_operands: Unsatisfied source operands while the entry
+            sits in the scheduling window (the entry doubles as its own
+            reservation station — one object per in-flight instruction).
     """
 
     seq: int
@@ -46,6 +49,18 @@ class ROBEntry:
     fetch_mispredicted: bool = False
     actual_taken: bool = False
     actual_target: int = -1
+    pending_operands: int = 0
+
+    @property
+    def ready(self) -> bool:
+        """All operands available; eligible to fire."""
+        return self.pending_operands == 0
+
+    @property
+    def rob_entry(self) -> "ROBEntry":
+        """The window-entry view is the ROB entry itself (the separate
+        wrapper object was merged away); kept for API compatibility."""
+        return self
 
 
 class ReorderBuffer:
@@ -67,6 +82,13 @@ class ReorderBuffer:
     @property
     def empty(self) -> bool:
         return not self._entries
+
+    @property
+    def head_done(self) -> bool:
+        """True when the head entry is eligible to retire (O(1) peek used
+        by the simulator's event-skipping loop)."""
+        entries = self._entries
+        return bool(entries) and entries[0].state is EntryState.DONE
 
     def append(self, entry: ROBEntry) -> None:
         if self.full:

@@ -6,27 +6,30 @@ the producing in-flight instruction.  The *producer table* is the tag
 side of the Messy register file: for each architectural register it holds
 the tag of the newest in-flight producer, or ``READY`` when the value is
 available in the register file itself.
+
+The window never stores its waiting entries in a scannable list: an
+entry with unsatisfied operands is reachable only through the consumer
+lists of the tags it waits on, and it moves to the *ready list* when the
+last one writes back.  The fire phase therefore touches only ready
+entries instead of rescanning the whole window every cycle; occupancy is
+a plain counter.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from operator import attrgetter
 
 from repro.core.regfiles import READY, MessyTagFile
 from repro.core.rob import ROBEntry
 from repro.isa.registers import NO_REG, NUM_REGS
 
+#: A reservation station IS the in-flight instruction's ROB entry: the
+#: separate wrapper object was merged into :class:`ROBEntry` (its
+#: ``pending_operands`` / ``ready`` members), halving the per-dispatch
+#: allocations.  The old name remains for API compatibility.
+WindowEntry = ROBEntry
 
-@dataclass(slots=True, eq=False)
-class WindowEntry:
-    """A reservation station holding one dispatched instruction."""
-
-    rob_entry: ROBEntry
-    pending_operands: int = 0
-
-    @property
-    def ready(self) -> bool:
-        return self.pending_operands == 0
+_BY_SEQ = attrgetter("seq")
 
 
 class SchedulingWindow:
@@ -36,21 +39,29 @@ class SchedulingWindow:
         if size <= 0:
             raise ValueError("window size must be positive")
         self.size = size
-        self._entries: list[WindowEntry] = []
+        #: occupied reservation stations (waiting entries live in the
+        #: consumer lists, ready entries in ``_ready``).
+        self._occupied = 0
+        self._ready: list[WindowEntry] = []
         self.messy = MessyTagFile(num_regs)
         # tag -> reservation stations waiting on it
         self._consumers: dict[int, list[WindowEntry]] = {}
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._occupied
 
     @property
     def full(self) -> bool:
-        return len(self._entries) >= self.size
+        return self._occupied >= self.size
 
     @property
     def free_slots(self) -> int:
-        return self.size - len(self._entries)
+        return self.size - self._occupied
+
+    @property
+    def ready_count(self) -> int:
+        """Entries currently eligible to fire (O(1))."""
+        return len(self._ready)
 
     # -- dispatch ------------------------------------------------------------
 
@@ -67,20 +78,37 @@ class SchedulingWindow:
 
         Raises ``OverflowError`` when no reservation station is free.
         """
-        if self.full:
+        if self._occupied >= self.size:
             raise OverflowError("scheduling window overflow")
-        entry = WindowEntry(rob_entry)
+        entry = rob_entry
         instr = rob_entry.instruction
-        for src in instr.sources():
-            tag = self.messy.producer_of(src)
+        # Renaming is inlined (rather than via MessyTagFile accessors):
+        # this runs once per dynamic instruction and dominates dispatch.
+        producer = self.messy._producer
+        consumers = self._consumers
+        pending = 0
+        src = instr.src1
+        if src != NO_REG:
+            tag = producer[src]
             if tag != READY:
-                entry.pending_operands += 1
-                self._consumers.setdefault(tag, []).append(entry)
+                pending += 1
+                consumers.setdefault(tag, []).append(entry)
+        src = instr.src2
+        if src != NO_REG:
+            tag = producer[src]
+            if tag != READY:
+                pending += 1
+                consumers.setdefault(tag, []).append(entry)
         for tag in extra_dependencies:
-            entry.pending_operands += 1
-            self._consumers.setdefault(tag, []).append(entry)
-        self.messy.rename_dest(instr.dest, rob_entry.seq)
-        self._entries.append(entry)
+            pending += 1
+            consumers.setdefault(tag, []).append(entry)
+        entry.pending_operands = pending
+        dest = instr.dest
+        if dest != NO_REG:
+            producer[dest] = rob_entry.seq
+        self._occupied += 1
+        if pending == 0:
+            self._ready.append(entry)
         return entry
 
     # -- issue ----------------------------------------------------------------
@@ -92,25 +120,34 @@ class SchedulingWindow:
         returned entries actually issue; entries it cannot issue must be
         handed back through :meth:`put_back`.
         """
-        ready = [e for e in self._entries if e.ready]
-        if limit is not None:
-            ready = ready[:limit]
-        for entry in ready:
-            self._entries.remove(entry)
-        return ready
+        ready = self._ready
+        if not ready:
+            return []
+        ready.sort(key=_BY_SEQ)
+        if limit is None or limit >= len(ready):
+            taken = ready[:]
+            ready.clear()
+        else:
+            taken = ready[:limit]
+            del ready[:limit]
+        self._occupied -= len(taken)
+        return taken
 
     def put_back(self, entries: list[WindowEntry]) -> None:
-        """Return un-issued ready entries to the window (oldest-first order
-        is restored by sorting on sequence number)."""
-        self._entries.extend(entries)
-        self._entries.sort(key=lambda e: e.rob_entry.seq)
+        """Return un-issued ready entries to the window (oldest-first
+        order is restored by the sort in the next :meth:`take_ready`)."""
+        self._ready.extend(entries)
+        self._occupied += len(entries)
 
     # -- writeback ----------------------------------------------------------------
 
     def writeback(self, seq: int, dest: int) -> None:
         """Broadcast a completed result: wake consumers, free the tag."""
+        ready = self._ready
         for waiter in self._consumers.pop(seq, ()):
             waiter.pending_operands -= 1
+            if waiter.pending_operands == 0:
+                ready.append(waiter)
         self.messy.writeback(dest, seq)
 
     # -- inspection -------------------------------------------------------------------

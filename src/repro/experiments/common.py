@@ -20,6 +20,7 @@ from repro.compiler import pad_all, pad_trace, reorder_program
 from repro.machines.config import MachineConfig
 from repro.machines.presets import MACHINES, get_machine
 from repro.metrics.summary import format_table, harmonic_mean
+from repro.sim import cache as result_cache
 from repro.sim.eir import EIRResult, measure_eir
 from repro.sim.simulator import Simulator
 from repro.sim.stats import SimStats
@@ -150,12 +151,33 @@ def sim_stats(
     fetch_penalty: int | None = None,
     block_words: int = 4,
 ) -> SimStats:
-    """Run (and memoise) one full IPC simulation."""
+    """Run (and memoise) one full IPC simulation.
+
+    Memoised twice: per process via ``lru_cache``, and across processes
+    via the persistent disk cache (:mod:`repro.sim.cache`) — batch
+    workers, repeated experiment invocations and CI runs share results.
+    """
+    key = (
+        benchmark,
+        machine_name,
+        scheme,
+        variant,
+        length,
+        warmup,
+        seed,
+        fetch_penalty,
+        block_words,
+    )
+    cached = result_cache.load("sim_stats", key)
+    if cached is not None:
+        return cached
     machine = get_machine(machine_name)
     if fetch_penalty is not None:
         machine = machine.with_fetch_penalty(fetch_penalty)
     trace = variant_trace(benchmark, variant, length, seed, block_words)
-    return Simulator(machine, trace, scheme, warmup=warmup).run()
+    stats = Simulator(machine, trace, scheme, warmup=warmup).run()
+    result_cache.store("sim_stats", key, stats)
+    return stats
 
 
 @lru_cache(maxsize=None)
@@ -167,10 +189,19 @@ def eir_stats(
     length: int = DEFAULT_CONFIG.eir_length,
     seed: int = DEFAULT_CONFIG.seed,
 ) -> EIRResult:
-    """Run (and memoise) one fetch-only EIR measurement."""
+    """Run (and memoise) one fetch-only EIR measurement.
+
+    Disk-cached like :func:`sim_stats`.
+    """
+    key = (benchmark, machine_name, scheme, variant, length, seed)
+    cached = result_cache.load("eir_stats", key)
+    if cached is not None:
+        return cached
     machine = get_machine(machine_name)
     trace = variant_trace(benchmark, variant, length, seed)
-    return measure_eir(trace, machine, scheme)
+    result = measure_eir(trace, machine, scheme)
+    result_cache.store("eir_stats", key, result)
+    return result
 
 
 def hmean_ipc(

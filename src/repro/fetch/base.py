@@ -128,6 +128,18 @@ class FetchUnit(ABC):
             interleave=config.words_per_block,
         )
         self.stats = FetchStats()
+        #: Precomputed trace address array (the trace is complete by the
+        #: time a unit is built); :meth:`fetch_cycle` compares plans
+        #: against plain ints instead of touching Instruction objects.
+        self._trace_addresses = trace.address_array()
+        #: Per-slot prediction hook for the planning walks.  Without the
+        #: optional direction predictor and return stack (the paper's
+        #: baseline) :meth:`predict_slot` reduces to a plain BTB lookup,
+        #: so the walks skip the wrapper entirely.
+        if direction_predictor is None and return_stack is None:
+            self._slot_predictor = self.btb.predict
+        else:
+            self._slot_predictor = self.predict_slot
 
     # -- the per-scheme planning step ---------------------------------------
 
@@ -145,10 +157,12 @@ class FetchUnit(ABC):
     def fetch_cycle(self, position: int, limit: int) -> FetchResult:
         """Run one fetch cycle at trace *position*; see module docstring."""
         trace = self.trace.instructions
-        if position >= len(trace) or limit <= 0:
+        addresses = self._trace_addresses
+        total = len(trace)
+        if position >= total or limit <= 0:
             return FetchResult([])
         self.stats.cycles += 1
-        fetch_address = trace[position].address
+        fetch_address = addresses[position]
         plan = self.plan(fetch_address, min(limit, self.config.issue_rate))
         if plan.stall_cycles > 0:
             self.stats.cache_stall_cycles += plan.stall_cycles
@@ -156,17 +170,26 @@ class FetchUnit(ABC):
 
         matched = 0
         mispredict = False
-        for planned_address in plan.addresses:
-            index = position + matched
-            if index >= len(trace):
-                break
-            if trace[index].address != planned_address:
-                mispredict = True
-                break
-            matched += 1
+        plan_addresses = plan.addresses
+        count = len(plan_addresses)
+        if (
+            position + count <= total
+            and addresses[position : position + count] == plan_addresses
+        ):
+            # Common case — the whole plan matches (one C-level compare).
+            matched = count
+        else:
+            for planned_address in plan_addresses:
+                index = position + matched
+                if index >= total:
+                    break
+                if addresses[index] != planned_address:
+                    mispredict = True
+                    break
+                matched += 1
         if not mispredict:
             cont = position + matched
-            if cont < len(trace) and plan.next_address != trace[cont].address:
+            if cont < total and plan.next_address != addresses[cont]:
                 mispredict = True
         if matched == 0:
             # The plan always starts at the actual fetch address.
@@ -285,10 +308,11 @@ class FetchUnit(ABC):
         predicted taken target, or -1 if the walk ended sequentially
         (at *stop* or at the limit).  ``plan.next_address`` is set.
         """
+        predict = self._slot_predictor
         address = start
         while address < stop and len(plan.addresses) < limit:
             plan.addresses.append(address)
-            prediction = self.predict_slot(address)
+            prediction = predict(address)
             if prediction.taken:
                 plan.next_address = prediction.target
                 return prediction.target

@@ -51,10 +51,11 @@ class CollapsingBufferFetch(FetchUnit):
         ``plan.next_address``.
         """
         end = self._block_end(block)
+        predict = self._slot_predictor
         address = start
         while address < end and len(plan.addresses) < limit:
             plan.addresses.append(address)
-            prediction = self.predict_slot(address)
+            prediction = predict(address)
             if prediction.taken:
                 target = prediction.target
                 if self._block_of(target) == block and target > address:

@@ -44,7 +44,7 @@ class PerfectFetch(FetchUnit):
                     break
                 seen_blocks.add(block)
             plan.addresses.append(address)
-            prediction = self.predict_slot(address)
+            prediction = self._slot_predictor(address)
             address = prediction.target if prediction.taken else address + 1
         plan.next_address = address
         return plan

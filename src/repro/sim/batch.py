@@ -3,13 +3,23 @@
 Full-suite experiments are hundreds of independent simulations; this
 module fans them out over processes.  On fork-capable platforms the
 workers inherit the parent's generated-workload caches, so per-worker
-start-up cost is negligible.  Results come back in job order.
+start-up cost is negligible; where only ``spawn`` is available the job
+function is module-level and closure-free, so workers can re-import it.
+Completed jobs also land in the persistent disk cache
+(:mod:`repro.sim.cache`), so results flow back to the parent — and to
+every later process — even across start methods.
+
+Results come back in job order regardless of completion order: jobs are
+dealt to the pool as ``(index, job)`` pairs via chunked
+``imap_unordered`` (cheaper than ordered ``map`` for uneven job
+lengths) and reassembled by index.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 
 from repro.sim.stats import SimStats
@@ -30,6 +40,27 @@ class SimJob:
     block_words: int = 4
 
 
+@dataclass(slots=True)
+class BatchReport:
+    """Outcome of a batch: results plus throughput accounting."""
+
+    results: list[SimStats]
+    wall_seconds: float
+    processes: int
+
+    @property
+    def simulated_instructions(self) -> int:
+        """Total instructions retired in the measured (post-warmup)
+        regions across all jobs."""
+        return sum(s.retired for s in self.results)
+
+    @property
+    def instructions_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.simulated_instructions / self.wall_seconds
+
+
 def _run_job(job: SimJob) -> SimStats:
     # Imported here so workers resolve it after fork.
     from repro.experiments.common import sim_stats
@@ -47,25 +78,74 @@ def _run_job(job: SimJob) -> SimStats:
     )
 
 
+def _run_indexed(item: tuple[int, SimJob]) -> tuple[int, SimStats]:
+    """Module-level worker wrapper (picklable under ``spawn``): carries
+    the job's position so unordered completion can be reassembled."""
+    index, job = item
+    return index, _run_job(job)
+
+
+def _start_method(requested: str | None) -> str | None:
+    """Resolve the pool start method: prefer ``fork`` (workers inherit
+    warm caches), fall back to ``spawn``; ``None`` if neither exists."""
+    available = multiprocessing.get_all_start_methods()
+    if requested is not None:
+        return requested if requested in available else None
+    for method in ("fork", "spawn"):
+        if method in available:
+            return method
+    return None
+
+
 def run_batch(
     jobs: list[SimJob],
     processes: int | None = None,
+    start_method: str | None = None,
+    chunksize: int | None = None,
 ) -> list[SimStats]:
     """Run *jobs*, in parallel where the platform allows.
 
     *processes* defaults to the CPU count (capped by the job count);
-    pass 1 to force serial execution.  Serial execution is also used
-    automatically when fork is unavailable.
+    pass 1 to force serial execution.  *start_method* overrides the
+    fork-preferred default (tests force ``spawn``); serial execution is
+    the fallback when no start method is available.  Results are
+    returned in job order.
     """
     if not jobs:
         return []
     if processes is None:
         processes = min(len(jobs), os.cpu_count() or 1)
-    if processes <= 1 or "fork" not in multiprocessing.get_all_start_methods():
+    method = _start_method(start_method)
+    if processes <= 1 or method is None:
         return [_run_job(job) for job in jobs]
-    context = multiprocessing.get_context("fork")
+    if chunksize is None:
+        # A few chunks per worker balances scheduling against IPC cost.
+        chunksize = max(1, len(jobs) // (processes * 4))
+    context = multiprocessing.get_context(method)
+    results: list[SimStats | None] = [None] * len(jobs)
     with context.Pool(processes) as pool:
-        return pool.map(_run_job, jobs)
+        for index, stats in pool.imap_unordered(
+            _run_indexed, enumerate(jobs), chunksize=chunksize
+        ):
+            results[index] = stats
+    return results  # type: ignore[return-value]  # every index was filled
+
+
+def run_batch_report(
+    jobs: list[SimJob],
+    processes: int | None = None,
+    start_method: str | None = None,
+) -> BatchReport:
+    """:func:`run_batch` plus wall-clock and throughput accounting
+    (feeds the ``BENCH_sim_throughput.json`` perf record)."""
+    if processes is None:
+        processes = min(len(jobs), os.cpu_count() or 1) if jobs else 1
+    start = time.perf_counter()
+    results = run_batch(jobs, processes=processes, start_method=start_method)
+    wall = time.perf_counter() - start
+    return BatchReport(
+        results=results, wall_seconds=wall, processes=max(1, processes)
+    )
 
 
 def suite_jobs(

@@ -1,0 +1,147 @@
+"""Persistent cross-process simulation result cache.
+
+Simulations are deterministic functions of their job description, so a
+finished :class:`~repro.sim.stats.SimStats` or
+:class:`~repro.sim.eir.EIRResult` can be reused by any later process —
+repeated experiment invocations, batch workers, CI runs — as long as the
+simulator source is unchanged.  This module provides that memo on disk:
+
+* Entries live under ``$REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro``), in a subdirectory named after
+  :data:`FORMAT_VERSION` so layout changes never misread old files.
+* Every key is salted with :func:`source_version`, a digest over all
+  ``repro`` package sources — any code change invalidates the whole
+  cache rather than risking stale results.
+* ``REPRO_CACHE=0`` disables the cache entirely.
+* Loads are corruption-tolerant: a truncated, unreadable or
+  key-colliding file is deleted and treated as a miss.
+* Stores are atomic (write to a temp file, then ``os.replace``), so a
+  killed process never leaves a half-written entry behind.
+
+See ``docs/performance.md`` for the key/versioning scheme.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: Bump when the on-disk layout or pickle schema changes.
+FORMAT_VERSION = 1
+
+_source_version_memo: str | None = None
+
+
+def cache_enabled() -> bool:
+    """False when the user disabled the cache via ``REPRO_CACHE=0``."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    """Root directory for this format version's entries."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        base = Path(root)
+    else:
+        base = Path.home() / ".cache" / "repro"
+    return base / f"v{FORMAT_VERSION}"
+
+
+def source_version() -> str:
+    """Digest over every ``repro`` package source file.
+
+    Computed once per process; any edit to the simulator invalidates all
+    cached results (correctness over reuse).
+    """
+    global _source_version_memo
+    if _source_version_memo is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _source_version_memo = digest.hexdigest()
+    return _source_version_memo
+
+
+def _entry_path(kind: str, key: tuple) -> Path:
+    payload = repr((FORMAT_VERSION, source_version(), kind, key))
+    name = hashlib.sha256(payload.encode()).hexdigest()
+    return cache_dir() / f"{name}.pkl"
+
+
+def load(kind: str, key: tuple) -> Any | None:
+    """Return the cached value for ``(kind, key)``, or ``None``.
+
+    Any failure — missing file, unpicklable bytes, digest collision with
+    a different key — is a miss; damaged files are removed.
+    """
+    if not cache_enabled():
+        return None
+    path = _entry_path(kind, key)
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        if payload["key"] != (kind, key):
+            raise ValueError("cache key mismatch")
+        return payload["value"]
+    except FileNotFoundError:
+        return None
+    except Exception:
+        # Corrupt or foreign entry: drop it so the slot heals itself.
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store(kind: str, key: tuple, value: Any) -> None:
+    """Persist *value* for ``(kind, key)`` (atomic; best-effort)."""
+    if not cache_enabled():
+        return
+    path = _entry_path(kind, key)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(
+                    {"key": (kind, key), "value": value},
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full filesystem only costs the memoisation.
+        pass
+
+
+def clear() -> int:
+    """Delete all entries of the current format version; returns the
+    number removed."""
+    removed = 0
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    for path in directory.glob("*.pkl"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed

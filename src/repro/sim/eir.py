@@ -68,13 +68,22 @@ def measure_eir(
     warmup = min(max(0, warmup), total // 2)
 
     if prewarm_cache and instructions:
-        addresses = [i.address for i in instructions]
+        addresses = trace.address_array()
         cache = unit.cache
         for block in range(
             cache.block_index(min(addresses)),
             cache.block_index(max(addresses)) + 1,
         ):
             cache.fill(block)
+
+    # Precomputed per-trace arrays + hoisted bound methods: this loop
+    # visits every dynamic instruction.
+    is_control = trace.control_array()
+    is_taken = trace.taken_array()
+    next_addr = trace.next_address_array()
+    fetch_cycle = unit.fetch_cycle
+    train = unit.train
+    issue_rate = machine.issue_rate
 
     position = 0
     cycles = 0
@@ -88,7 +97,7 @@ def measure_eir(
                 unit.stats.mispredicts,
                 unit.cache.stats.misses,
             )
-        result = unit.fetch_cycle(position, machine.issue_rate)
+        result = fetch_cycle(position, issue_rate)
         cycles += 1
         if result.stall_cycles:
             cycles += result.stall_cycles
@@ -97,9 +106,8 @@ def measure_eir(
         delivered += count
         # Train with resolved outcomes (decode-time update approximation).
         for index in range(position, position + count):
-            instr = instructions[index]
-            if instr.is_control:
-                unit.train(instr, trace.is_taken(index), trace.next_address(index))
+            if is_control[index]:
+                train(instructions[index], is_taken[index], next_addr[index])
         position += count
 
     if base is None:

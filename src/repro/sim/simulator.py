@@ -11,6 +11,18 @@ stalled while
 * the decoupling queue is full (``fetch_queue_groups`` fetch groups of
   backlog — depth 1 means fetch waits for the previous group to fully
   dispatch).
+
+Two loop implementations produce bit-identical statistics:
+
+* :meth:`Simulator.run` — the production loop.  Phases are gated on O(1)
+  peeks (ROB head state, pending-writeback heap top, window ready count)
+  and, when a cycle provably cannot change architectural state, the loop
+  jumps ``cycle`` directly to the next event — the earliest in-flight
+  writeback or the fetch-restart cycle — instead of spinning.  The
+  event-skip invariants are documented in ``docs/performance.md``.
+* :meth:`Simulator.run_reference` — the retained naive per-cycle loop,
+  kept as the oracle for the equivalence guard in
+  ``tests/test_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -18,9 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.pipeline import ExecutionCore
-from repro.core.rob import ROBEntry
+from repro.core.rob import EntryState, ROBEntry
 from repro.fetch.base import FetchUnit
 from repro.fetch.factory import create_fetch_unit
+from repro.isa.opcodes import OpClass
 from repro.machines.config import MachineConfig
 from repro.sim.stats import SimStats
 from repro.workloads.trace import DynamicTrace
@@ -32,7 +45,7 @@ class SimulationDeadlock(RuntimeError):
 
 @dataclass(slots=True)
 class _QueuedInstruction:
-    """A delivered instruction waiting to dispatch."""
+    """A delivered instruction waiting to dispatch (reference loop only)."""
 
     trace_index: int
     fetch_mispredicted: bool
@@ -89,14 +102,212 @@ class Simulator:
         order (a capacity-exceeding program keeps only the last-filled
         conflicting blocks, as in steady state)."""
         cache = self.fetch_unit.cache
-        addresses = [i.address for i in self.trace.instructions]
+        addresses = self.trace.address_array()
         first_block = cache.block_index(min(addresses))
         last_block = cache.block_index(max(addresses))
         for block in range(first_block, last_block + 1):
             cache.fill(block)
 
     def run(self) -> SimStats:
-        """Simulate to completion and return the statistics."""
+        """Simulate to completion and return the statistics.
+
+        Event-skipping loop: statistically bit-identical to
+        :meth:`run_reference` (guarded by ``tests/test_equivalence.py``).
+        """
+        config = self.config
+        core = self.core
+        fetch = self.fetch_unit
+        trace = self.trace
+        instructions = trace.instructions
+        total = len(instructions)
+
+        # Hoisted configuration, bound methods and per-trace arrays: the
+        # cycle loop must not chase attribute chains or call trace
+        # methods per instruction.
+        issue_rate = config.issue_rate
+        queue_capacity = config.fetch_queue_groups * issue_rate
+        fetch_penalty = config.fetch_penalty
+        recovery_at_retire = config.recovery_at_retire
+        speculation_depth = config.speculation_depth
+        warmup = self.warmup
+        wrong_path_fetch = self.wrong_path_fetch
+        is_taken = trace.taken_array()
+        next_addr = trace.next_address_array()
+        control_arr = trace.control_array()
+
+        core_stats = core.stats
+        rob = core.rob
+        rob_entries = rob._entries
+        window = core.window
+        window_ready = window._ready
+        inflight = core._inflight
+        retire_fast = core.retire_fast
+        do_writeback = core.do_writeback
+        do_fire = core.do_fire
+        dispatch_queue = core.dispatch_queue
+        fetch_cycle = fetch.fetch_cycle
+        train = fetch.train
+        DONE = EntryState.DONE
+        BR_COND = OpClass.BR_COND
+
+        cycle = 0
+        snapshot_taken = self._snapshot is not None
+        position = 0  # next trace index to fetch
+        #: The decoupling queue is the contiguous index range
+        #: ``[dispatch_head, position)`` — fetch always delivers the next
+        #: consecutive correct-path instructions, so two ints suffice.
+        dispatch_head = 0
+        #: trace index flagged as fetch-mispredicted (at most one can be
+        #: outstanding because fetch stalls after flagging).
+        flagged_index = -1
+        fetch_blocked_until = 0  # cache-miss stalls / misprediction restart
+        waiting_for_resolution = False
+        wrong_path_address = -1
+        max_cycles = max(10_000, self.MAX_CPI * total)
+
+        while core_stats.retired < total:
+            if cycle > max_cycles:
+                raise SimulationDeadlock(
+                    f"no forward progress after {cycle} cycles "
+                    f"({core_stats.retired}/{total} retired)"
+                )
+            if not snapshot_taken and core_stats.retired >= warmup:
+                self._snapshot = self._counters(cycle)
+                snapshot_taken = True
+
+            if rob_entries and rob_entries[0].state is DONE:
+                if retire_fast() and recovery_at_retire:
+                    waiting_for_resolution = False
+                    restart = cycle + fetch_penalty
+                    if restart > fetch_blocked_until:
+                        fetch_blocked_until = restart
+
+            if inflight and inflight[0][0] <= cycle:
+                for entry in do_writeback(cycle):
+                    if control_arr[entry.trace_index]:
+                        train(
+                            entry.instruction,
+                            entry.actual_taken,
+                            entry.actual_target,
+                        )
+                    if entry.fetch_mispredicted and not recovery_at_retire:
+                        waiting_for_resolution = False
+                        restart = cycle + fetch_penalty
+                        if restart > fetch_blocked_until:
+                            fetch_blocked_until = restart
+
+            if window_ready:
+                do_fire(cycle)
+
+            if dispatch_head < position:
+                dispatch_head = dispatch_queue(
+                    dispatch_head,
+                    position,
+                    instructions,
+                    flagged_index,
+                    is_taken,
+                    next_addr,
+                )
+
+            if (
+                position < total
+                and not waiting_for_resolution
+                and cycle >= fetch_blocked_until
+                and position - dispatch_head + issue_rate <= queue_capacity
+            ):
+                result = fetch_cycle(position, issue_rate)
+                if result.stall_cycles:
+                    fetch_blocked_until = cycle + result.stall_cycles
+                elif result.instructions:
+                    count = len(result.instructions)
+                    if result.mispredict:
+                        flagged_index = position + count - 1
+                        waiting_for_resolution = True
+                        if wrong_path_fetch:
+                            # Hardware would continue down the predicted
+                            # (wrong) path; follow it for its cache
+                            # side effects only.
+                            last = result.instructions[-1]
+                            prediction = fetch.predict_slot(last.address)
+                            wrong_path_address = (
+                                prediction.target
+                                if prediction.taken
+                                else last.address + 1
+                            )
+                    position += count
+            elif waiting_for_resolution and wrong_path_address >= 0:
+                wrong_path_address = fetch.wrong_path_cycle(
+                    wrong_path_address, issue_rate
+                )
+                self.wrong_path_cycles += 1
+
+            if not waiting_for_resolution:
+                wrong_path_address = -1
+
+            cycle += 1
+
+            # -- event skip: jump over provably idle cycles --------------
+            # A cycle is idle when every phase is a no-op: nothing can
+            # retire (ROB head not DONE), nothing is due on the result
+            # buses, nothing can fire (no ready window entry), dispatch
+            # is impossible (queue empty) or provably blocked, and fetch
+            # is gated.  None of that can change until the next event:
+            # the earliest in-flight writeback or the fetch-restart
+            # cycle (see docs/performance.md for the invariants).
+            if (
+                core_stats.retired < total
+                and wrong_path_address < 0
+                and not window_ready
+                and not (rob_entries and rob_entries[0].state is DONE)
+            ):
+                if dispatch_head == position:
+                    blocked_stat = None
+                elif window.full or rob.full:
+                    blocked_stat = "window_full_stalls"
+                else:
+                    instr = instructions[dispatch_head]
+                    if (
+                        instr.op is BR_COND
+                        and core.unresolved_branches >= speculation_depth
+                    ):
+                        blocked_stat = "speculation_stalls"
+                    else:
+                        continue  # dispatch would progress next cycle
+                target = max_cycles + 1
+                if inflight and inflight[0][0] < target:
+                    target = inflight[0][0]
+                if (
+                    position < total
+                    and not waiting_for_resolution
+                    and position - dispatch_head + issue_rate
+                    <= queue_capacity
+                    and fetch_blocked_until < target
+                ):
+                    target = fetch_blocked_until
+                if target > cycle:
+                    # Replicate the reference loop exactly over the
+                    # skipped span: the warmup snapshot lands on the
+                    # first skipped cycle, and each skipped cycle with a
+                    # blocked dispatch head charges one stall.
+                    if not snapshot_taken and core_stats.retired >= warmup:
+                        self._snapshot = self._counters(cycle)
+                        snapshot_taken = True
+                    skipped = target - cycle
+                    if blocked_stat == "window_full_stalls":
+                        core_stats.window_full_stalls += skipped
+                    elif blocked_stat == "speculation_stalls":
+                        core_stats.speculation_stalls += skipped
+                    cycle = target
+
+        return self._collect_stats(cycle)
+
+    def run_reference(self) -> SimStats:
+        """Naive per-cycle loop, retained as the equivalence oracle.
+
+        Spins every cycle and re-derives every condition from scratch;
+        :meth:`run` must produce field-for-field identical
+        :class:`SimStats`.
+        """
         config = self.config
         core = self.core
         fetch = self.fetch_unit
@@ -230,15 +441,16 @@ class Simulator:
         delta = {key: end[key] - start[key] for key in end}
 
         # Dynamic branch/nop statistics over the measured region.
-        measured = trace.instructions[start["retired"] :]
-        offset = start["retired"]
+        is_control = trace.control_array()
+        is_taken = trace.taken_array()
+        is_nop = trace.nop_array()
         branches = taken = nops = 0
-        for i, instr in enumerate(measured):
-            if instr.is_control:
+        for index in range(start["retired"], len(trace.instructions)):
+            if is_control[index]:
                 branches += 1
-                if trace.is_taken(offset + i):
+                if is_taken[index]:
                     taken += 1
-            elif instr.is_nop:
+            elif is_nop[index]:
                 nops += 1
 
         return SimStats(

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, is_control
 from repro.program.basic_block import TermKind
 from repro.program.program import Program
 from repro.workloads.behavior import BehaviorModel
@@ -35,9 +36,77 @@ class DynamicTrace:
     name: str
     seed: int
     instructions: list[Instruction] = field(default_factory=list)
+    # Precomputed per-trace arrays (built lazily, invalidated by length
+    # change) so hot loops index plain lists instead of calling methods
+    # or chasing ``Instruction`` attributes per dynamic instruction.
+    _addresses: list[int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _next_addresses: list[int] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _taken: list[bool] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _control: list[bool] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _nop: list[bool] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+    # -- precomputed arrays ----------------------------------------------------
+
+    def _build_arrays(self) -> None:
+        instrs = self.instructions
+        addresses = [i.address for i in instrs]
+        nxt = addresses[1:]
+        nxt.append(-1)
+        self._addresses = addresses
+        self._next_addresses = nxt
+        self._taken = [
+            n >= 0 and n != a + 1 for a, n in zip(addresses, nxt)
+        ]
+        self._control = [is_control(i.op) for i in instrs]
+        self._nop = [i.op is OpClass.NOP for i in instrs]
+
+    def _arrays_stale(self) -> bool:
+        return self._addresses is None or len(self._addresses) != len(
+            self.instructions
+        )
+
+    def address_array(self) -> list[int]:
+        """``address`` of every dynamic instruction, as a plain list."""
+        if self._arrays_stale():
+            self._build_arrays()
+        return self._addresses
+
+    def next_address_array(self) -> list[int]:
+        """Successor address at each position (-1 at the trace end)."""
+        if self._arrays_stale():
+            self._build_arrays()
+        return self._next_addresses
+
+    def taken_array(self) -> list[bool]:
+        """Taken flag of the control transfer at each position."""
+        if self._arrays_stale():
+            self._build_arrays()
+        return self._taken
+
+    def control_array(self) -> list[bool]:
+        """``is_control`` flag at each position."""
+        if self._arrays_stale():
+            self._build_arrays()
+        return self._control
+
+    def nop_array(self) -> list[bool]:
+        """``is_nop`` flag at each position."""
+        if self._arrays_stale():
+            self._build_arrays()
+        return self._nop
 
     def next_address(self, index: int) -> int:
         """Address executed after dynamic position *index* (-1 at the end)."""

@@ -1,7 +1,16 @@
 """Tests for the parallel batch runner and the variance experiments."""
 
+import multiprocessing
+
+import pytest
+
 from repro.experiments.common import ExperimentConfig
-from repro.sim.batch import SimJob, run_batch, suite_jobs
+from repro.sim.batch import (
+    SimJob,
+    run_batch,
+    run_batch_report,
+    suite_jobs,
+)
 
 FAST = ExperimentConfig(
     trace_length=3000, eir_length=4000, stats_length=6000, warmup=800
@@ -31,6 +40,34 @@ class TestBatch:
         parallel = run_batch(jobs, processes=2)
         assert [s.ipc for s in serial] == [p.ipc for p in parallel]
         assert [s.benchmark for s in serial] == [j.benchmark for j in jobs]
+
+    @pytest.mark.skipif(
+        "spawn" not in multiprocessing.get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_spawn_matches_serial(self):
+        # The job wrapper must stay module-level and closure-free so it
+        # pickles for spawn-only platforms (e.g. Windows, macOS default).
+        jobs = self.make_jobs()
+        serial = run_batch(jobs, processes=1)
+        spawned = run_batch(jobs, processes=2, start_method="spawn")
+        assert [s.ipc for s in serial] == [p.ipc for p in spawned]
+
+    def test_unknown_start_method_falls_back_to_serial(self):
+        jobs = self.make_jobs()[:1]
+        results = run_batch(jobs, processes=2, start_method="no-such-method")
+        assert results[0].ipc == run_batch(jobs, processes=1)[0].ipc
+
+    def test_report_counts_instructions(self):
+        jobs = self.make_jobs()
+        report = run_batch_report(jobs, processes=1)
+        assert report.processes == 1
+        assert report.wall_seconds >= 0
+        assert report.simulated_instructions == sum(
+            s.retired for s in report.results
+        )
+        if report.wall_seconds > 0:
+            assert report.instructions_per_second > 0
 
     def test_empty(self):
         assert run_batch([]) == []

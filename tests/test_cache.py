@@ -1,0 +1,71 @@
+"""Tests for the persistent simulation result cache."""
+
+import pickle
+
+import pytest
+
+from repro.sim import cache
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    return tmp_path
+
+
+def test_round_trip(cache_env):
+    key = ("espresso", "PI4", "sequential", 1000)
+    assert cache.load("sim_stats", key) is None
+    cache.store("sim_stats", key, {"ipc": 2.5})
+    assert cache.load("sim_stats", key) == {"ipc": 2.5}
+
+
+def test_kinds_are_namespaced(cache_env):
+    key = ("espresso", "PI4")
+    cache.store("sim_stats", key, "a")
+    cache.store("eir_stats", key, "b")
+    assert cache.load("sim_stats", key) == "a"
+    assert cache.load("eir_stats", key) == "b"
+
+
+def test_corrupt_entry_is_dropped(cache_env):
+    key = ("li", "PI12", "collapsing_buffer")
+    cache.store("sim_stats", key, 42)
+    (entry,) = cache_env.glob("**/*.pkl")
+    entry.write_bytes(b"not a pickle")
+    assert cache.load("sim_stats", key) is None
+    assert not entry.exists()  # damaged file removed
+    # ... and the slot heals on the next store.
+    cache.store("sim_stats", key, 43)
+    assert cache.load("sim_stats", key) == 43
+
+
+def test_key_mismatch_is_a_miss(cache_env):
+    key = ("li", "PI4", "sequential")
+    cache.store("sim_stats", key, 1)
+    (entry,) = cache_env.glob("**/*.pkl")
+    entry.write_bytes(
+        pickle.dumps({"key": ("sim_stats", ("other",)), "value": 99})
+    )
+    assert cache.load("sim_stats", key) is None
+
+
+def test_disable_via_env(cache_env, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    key = ("ora", "PI4", "sequential")
+    cache.store("sim_stats", key, 7)
+    assert cache.load("sim_stats", key) is None
+    assert not list(cache_env.glob("**/*.pkl"))
+
+
+def test_clear_removes_entries(cache_env):
+    for i in range(3):
+        cache.store("sim_stats", ("bench", i), i)
+    assert cache.clear() == 3
+    assert cache.load("sim_stats", ("bench", 0)) is None
+
+
+def test_source_version_is_stable():
+    assert cache.source_version() == cache.source_version()
+    assert len(cache.source_version()) == 64

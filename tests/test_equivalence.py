@@ -1,0 +1,98 @@
+"""Bit-for-bit equivalence of the optimized and reference cycle loops.
+
+``Simulator.run()`` is the event-skipping fast loop;
+``Simulator.run_reference()`` is the retained naive loop that spins every
+cycle.  Every reported statistic — including the warmup snapshot counters
+— must be identical, or the fast loop has broken an invariant (see
+``docs/performance.md``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.machines.presets import get_machine
+from repro.sim.simulator import Simulator
+from repro.workloads.suite import load_workload
+from repro.workloads.trace import generate_trace
+
+LENGTH = 4_000
+WARMUP = 800
+
+BENCHMARKS = ("espresso", "li")
+MACHINES = ("PI4", "PI12")
+SCHEMES = ("sequential", "collapsing_buffer")
+
+
+def _trace(benchmark: str):
+    workload = load_workload(benchmark)
+    return generate_trace(
+        workload.program, workload.behavior, LENGTH, seed=0
+    )
+
+
+def _assert_identical(machine, trace, scheme, **kwargs):
+    fast_sim = Simulator(machine, trace, scheme, **kwargs)
+    fast = fast_sim.run()
+    ref_sim = Simulator(machine, trace, scheme, **kwargs)
+    ref = ref_sim.run_reference()
+    for field in dataclasses.fields(type(fast)):
+        assert getattr(fast, field.name) == getattr(ref, field.name), (
+            f"{field.name} diverged for {machine.name}/{scheme}"
+        )
+    # The warmup snapshot must also land on the same cycle with the same
+    # counter values (the skip path replays it explicitly).
+    assert fast_sim._snapshot == ref_sim._snapshot
+
+
+# Parametrized as "bench" because pytest-benchmark claims the name
+# "benchmark" as a fixture.
+@pytest.mark.parametrize("bench", BENCHMARKS)
+@pytest.mark.parametrize("machine_name", MACHINES)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fast_loop_matches_reference(bench, machine_name, scheme):
+    _assert_identical(
+        get_machine(machine_name),
+        _trace(bench),
+        scheme,
+        warmup=WARMUP,
+    )
+
+
+def test_equivalent_without_warmup():
+    _assert_identical(
+        get_machine("PI8"), _trace("espresso"), "interleaved_sequential"
+    )
+
+
+def test_equivalent_with_recovery_at_retire():
+    machine = dataclasses.replace(
+        get_machine("PI4"), recovery_at_retire=True
+    )
+    _assert_identical(machine, _trace("li"), "sequential", warmup=WARMUP)
+
+
+def test_equivalent_with_conservative_memory_ordering():
+    machine = dataclasses.replace(
+        get_machine("PI4"), memory_ordering="conservative"
+    )
+    _assert_identical(
+        machine, _trace("espresso"), "collapsing_buffer", warmup=WARMUP
+    )
+
+
+def test_equivalent_with_wrong_path_fetch():
+    _assert_identical(
+        get_machine("PI4"),
+        _trace("li"),
+        "banked_sequential",
+        warmup=WARMUP,
+        wrong_path_fetch=True,
+    )
+
+
+def test_equivalent_with_shifter_penalty():
+    machine = get_machine("PI12").with_fetch_penalty(3)
+    _assert_identical(
+        machine, _trace("espresso"), "collapsing_buffer", warmup=WARMUP
+    )
