@@ -85,6 +85,41 @@ def test_simulator_throughput_floor():
     )
 
 
+def test_sanitizer_overhead_bounded():
+    """The opt-in pipeline sanitizer must stay a cheap always-on-able
+    mode: bit-identical statistics at no more than 2.5x the runtime."""
+    workload = load_workload("compress")
+    trace = generate_trace(workload.program, workload.behavior, 16_000)
+    machine = get_machine("PI8")
+
+    def simulate(sanitize):
+        return Simulator(
+            machine, trace, "banked_sequential", sanitize=sanitize
+        ).run()
+
+    plain_best, plain_stats = _best_of(3, lambda: simulate(False))
+    sanitized_best, sanitized_stats = _best_of(3, lambda: simulate(True))
+    ratio = sanitized_best / plain_best
+    _record(
+        "sanitizer_overhead",
+        {
+            "benchmark": "compress",
+            "machine": "PI8",
+            "scheme": "banked_sequential",
+            "plain_seconds": round(plain_best, 4),
+            "sanitized_seconds": round(sanitized_best, 4),
+            "sanitized_over_plain": round(ratio, 4),
+            "ceiling": 2.5,
+        },
+    )
+    assert sanitized_stats == plain_stats
+    # Measured ~1.4x on a 1-vCPU container; 2.5x leaves noise headroom.
+    assert ratio < 2.5, (
+        f"sanitizer overhead too high: {sanitized_best:.3f}s vs "
+        f"{plain_best:.3f}s plain ({ratio:.2f}x)"
+    )
+
+
 def test_persistent_cache_accelerates_rerun(tmp_path, monkeypatch):
     from repro.experiments.common import eir_stats, sim_stats
     from repro.sim.batch import run_batch_report, suite_jobs

@@ -1,0 +1,44 @@
+"""Legality and invariant analysis (`repro.check`).
+
+Three layers keep the reproduction trustworthy without paying for a full
+``run_reference()`` oracle run:
+
+1. **Static verifiers** run before any simulation: a Program/CFG
+   verifier (:mod:`repro.check.program`), a machine-configuration
+   validator (:mod:`repro.check.config`) and a dynamic-trace legality
+   checker (:mod:`repro.check.trace`).
+2. A **declarative fetch-scheme capability model**
+   (:mod:`repro.check.rules`): one rule record per scheme encoding the
+   paper's packet constraints, checked against every delivered packet.
+3. An opt-in **cycle-level pipeline sanitizer**
+   (:mod:`repro.check.sanitizer`), enabled with ``REPRO_SANITIZE=1`` or
+   ``sweep --sanitize``, asserting cheap invariants each cycle.
+
+See ``docs/checking.md`` for the rule tables and the error-code
+catalogue.
+"""
+
+from repro.check.config import check_config, validate_config
+from repro.check.errors import CODES, CheckError, CheckFailure
+from repro.check.program import check_program, validate_program
+from repro.check.rules import RULES, SchemeRules, check_packet, rules_for
+from repro.check.sanitizer import PacketChecker, PipelineSanitizer
+from repro.check.trace import check_trace, validate_trace
+
+__all__ = [
+    "CODES",
+    "CheckError",
+    "CheckFailure",
+    "RULES",
+    "SchemeRules",
+    "PacketChecker",
+    "PipelineSanitizer",
+    "check_config",
+    "check_packet",
+    "check_program",
+    "check_trace",
+    "rules_for",
+    "validate_config",
+    "validate_program",
+    "validate_trace",
+]

@@ -1,0 +1,137 @@
+"""Matrix lint driver behind ``repro check``.
+
+Lints a benchmark x machine x scheme matrix with the static verifiers
+and — unless disabled — a short packet-checked, fetch-only pass per cell
+that exercises the per-scheme capability rules end to end.  Collects
+every finding into one :class:`~repro.check.errors.CheckReport` instead
+of stopping at the first, so CI output shows the whole blast radius.
+"""
+
+from __future__ import annotations
+
+from repro.check.config import check_config
+from repro.check.errors import CheckError, CheckReport
+from repro.check.program import check_program
+from repro.check.rules import rules_for
+from repro.check.sanitizer import PacketChecker
+from repro.check.trace import check_trace
+from repro.fetch.factory import HARDWARE_SCHEMES, create_fetch_unit
+from repro.machines.presets import MACHINES, get_machine
+from repro.sim.eir import measure_eir
+from repro.workloads.profiles import ALL_BENCHMARKS
+from repro.workloads.suite import load_workload
+
+#: Default dynamic-trace length for the legality walk and fetch pass —
+#: long enough to reach every block of the synthetic workloads, short
+#: enough that linting the full default matrix stays interactive.
+DEFAULT_CHECK_LENGTH = 4_000
+
+#: Program variants the linter understands (experiments' compiler set).
+KNOWN_VARIANTS = ("orig", "reordered", "pad_all", "pad_trace")
+
+
+def _variant_programs(benchmark: str, variant: str, machines):
+    """Yield ``(label, program, behavior)`` for one benchmark variant.
+
+    Padding variants depend on the target block size, so they expand to
+    one program per distinct ``words_per_block`` among *machines*.
+    """
+    from repro.experiments.common import variant_program
+
+    if variant in ("orig", "reordered"):
+        program, behavior = variant_program(benchmark, variant)
+        yield variant, program, behavior
+        return
+    for words in sorted({m.words_per_block for m in machines}) or [4]:
+        program, behavior = variant_program(benchmark, variant, words)
+        yield f"{variant}[{words}w]", program, behavior
+
+
+def check_matrix(
+    benchmarks=None,
+    machines=None,
+    schemes=None,
+    *,
+    length: int = DEFAULT_CHECK_LENGTH,
+    seed: int = 0,
+    fetch: bool = True,
+    variants=("orig",),
+) -> CheckReport:
+    """Lint the given matrix; defaults cover the paper's full grid.
+
+    Layers run in order: machine-configuration validation, per-program
+    static verification (per variant), trace legality for the generated
+    behaviour at *seed*, and (with *fetch*) a packet-checked fetch-only
+    run of every (benchmark, machine, scheme) cell.
+    """
+    from repro.workloads.trace import generate_trace
+
+    report = CheckReport()
+    benchmarks = tuple(benchmarks or ALL_BENCHMARKS)
+    machine_specs = tuple(machines or [m.name for m in MACHINES])
+    schemes = tuple(schemes or HARDWARE_SCHEMES)
+
+    resolved_machines = []
+    for spec in machine_specs:
+        if isinstance(spec, str):
+            try:
+                spec = get_machine(spec)
+            except KeyError:
+                report.add([CheckError("A002", spec, "unknown machine model")])
+                continue
+        report.add(check_config(spec))
+        resolved_machines.append(spec)
+
+    resolved_schemes = []
+    for scheme in schemes:
+        try:
+            rules_for(scheme)
+        except KeyError:
+            report.add([CheckError("A001", scheme, "no packet rules defined")])
+            continue
+        resolved_schemes.append(scheme)
+
+    for variant in variants:
+        if variant not in KNOWN_VARIANTS:
+            report.add(
+                [CheckError("A003", variant, "unknown program variant")]
+            )
+
+    for benchmark in benchmarks:
+        try:
+            load_workload(benchmark)
+        except KeyError:
+            report.add([CheckError("A003", benchmark, "unknown benchmark")])
+            continue
+        for variant in variants:
+            if variant not in KNOWN_VARIANTS:
+                continue
+            for label, program, behavior in _variant_programs(
+                benchmark, variant, resolved_machines
+            ):
+                subject_program = program
+                report.add(check_program(subject_program))
+                for machine in resolved_machines:
+                    # Geometry-only pass per machine (round-trip done once).
+                    report.add(
+                        check_program(
+                            subject_program, machine, roundtrip=False
+                        )
+                    )
+                trace = generate_trace(program, behavior, length, seed=seed)
+                report.add(check_trace(program, trace))
+                if not fetch:
+                    continue
+                for machine in resolved_machines:
+                    for scheme in resolved_schemes:
+                        collected: list[CheckError] = []
+                        unit = create_fetch_unit(scheme, machine, trace)
+                        PacketChecker.for_unit(
+                            unit,
+                            subject=f"{benchmark}:{label}/"
+                            f"{machine.name}/{scheme}",
+                            collect=collected,
+                        )
+                        measure_eir(trace, machine, unit, warmup=0)
+                        report.add(collected)
+    return report

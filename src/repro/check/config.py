@@ -1,0 +1,132 @@
+"""Static machine-configuration validator.
+
+``MachineConfig.__post_init__`` rejects the grossest mistakes at
+construction time; this validator re-derives every geometric invariant
+from the raw fields so it can also audit configurations that arrived by
+other routes (deserialisation, ablation ``replace`` chains, hand-built
+test doubles).  It is duck-typed on purpose: anything exposing the
+``MachineConfig`` field names can be checked, which is how the mutation
+tests inject corrupt geometry that the frozen dataclass could never
+construct.
+"""
+
+from __future__ import annotations
+
+from repro.check.errors import CheckError, CheckFailure
+
+_VALID_MEMORY_ORDERING = ("none", "conservative")
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def check_config(config, bytes_per_instruction: int = 4) -> list[CheckError]:
+    """Verify *config* (any object with ``MachineConfig`` fields).
+
+    Returns the list of violations; empty when the configuration is
+    legal.
+    """
+    subject = getattr(config, "name", "config")
+    errors: list[CheckError] = []
+
+    def flag(code: str, message: str) -> None:
+        errors.append(CheckError(code, subject, message))
+
+    icache_bytes = config.icache_bytes
+    block_bytes = config.icache_block_bytes
+    issue_rate = config.issue_rate
+
+    if not _is_power_of_two(icache_bytes):
+        flag("C001", f"icache_bytes={icache_bytes} is not a power of two")
+    if not _is_power_of_two(block_bytes):
+        flag("C002", f"icache_block_bytes={block_bytes} is not a power of two")
+    elif icache_bytes % block_bytes:
+        flag(
+            "C001",
+            f"icache_bytes={icache_bytes} is not a multiple of the "
+            f"{block_bytes}B block",
+        )
+    if block_bytes % bytes_per_instruction:
+        flag(
+            "C002",
+            f"icache_block_bytes={block_bytes} does not hold whole "
+            f"{bytes_per_instruction}B instructions",
+        )
+    elif issue_rate > 0 and block_bytes // bytes_per_instruction < issue_rate:
+        # Paper Table 1: the block holds the issue rate of instructions.
+        flag(
+            "C003",
+            f"{block_bytes}B block holds "
+            f"{block_bytes // bytes_per_instruction} instructions, "
+            f"issue rate is {issue_rate}",
+        )
+    if not _is_power_of_two(config.btb_entries):
+        flag(
+            "C004",
+            f"btb_entries={config.btb_entries} is not a power of two "
+            "(the BTB is interleaved by low-order index bits)",
+        )
+
+    if issue_rate <= 0:
+        flag("C005", f"issue_rate={issue_rate} must be positive")
+    if config.window_size < issue_rate:
+        flag(
+            "C005",
+            f"window_size={config.window_size} cannot hold one "
+            f"{issue_rate}-wide issue group",
+        )
+    rob_size = config.rob_factor * config.window_size
+    if rob_size < config.window_size or config.rob_factor < 1:
+        flag(
+            "C005",
+            f"ROB ({rob_size} = {config.rob_factor} x window) is smaller "
+            "than the scheduling window",
+        )
+
+    for field_name in ("num_fxu", "num_fpu", "num_branch_units"):
+        count = getattr(config, field_name)
+        if count < 1:
+            flag("C006", f"{field_name}={count} must be at least 1")
+    for field_name in ("num_load_units", "num_store_buffers"):
+        count = getattr(config, field_name)
+        if count == 0 or count < -1:
+            flag(
+                "C006",
+                f"{field_name}={count} must be positive or -1 (= num_fxu)",
+            )
+
+    if config.fetch_penalty < 0:
+        flag("C007", f"fetch_penalty={config.fetch_penalty} is negative")
+    if config.icache_miss_latency < 1:
+        flag(
+            "C007",
+            f"icache_miss_latency={config.icache_miss_latency} must be "
+            "at least 1",
+        )
+    if config.speculation_depth < 1:
+        flag(
+            "C007",
+            f"speculation_depth={config.speculation_depth} must be at least 1",
+        )
+    if config.fetch_queue_groups < 1:
+        flag(
+            "C007",
+            f"fetch_queue_groups={config.fetch_queue_groups} must be "
+            "at least 1",
+        )
+
+    if config.memory_ordering not in _VALID_MEMORY_ORDERING:
+        flag(
+            "C008",
+            f"memory_ordering={config.memory_ordering!r} is not one of "
+            f"{_VALID_MEMORY_ORDERING}",
+        )
+    return errors
+
+
+def validate_config(config) -> None:
+    """Raise :class:`CheckFailure` if *config* is illegal."""
+    errors = check_config(config)
+    if errors:
+        raise CheckFailure(errors)

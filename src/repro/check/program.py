@@ -1,0 +1,145 @@
+"""Static Program/CFG verifier.
+
+Runs before any simulation and proves the properties the fetch schemes
+and the trace generator silently rely on:
+
+* the memory image is contiguous from the base address and every
+  instruction knows its own address (layout integrity);
+* every control-transfer target lands on the start of the successor
+  basic block the CFG names (targets resolve, and resolve *correctly*);
+* every fall-through successor is physically adjacent (the invariant
+  compiler passes must preserve when they permute blocks);
+* every instruction round-trips through the 32-bit binary encoding, so
+  displacement-field overflow cannot silently corrupt a large program;
+* block sizes respect the I-cache geometry of the machine under test
+  (a block bigger than the whole cache can never run from steady state).
+"""
+
+from __future__ import annotations
+
+from repro.check.errors import CheckError, CheckFailure
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import BYTES_PER_INSTRUCTION, UNPLACED
+from repro.isa.opcodes import OpClass
+from repro.program.basic_block import NO_BLOCK, TermKind
+from repro.program.program import Program
+
+#: Fall-through terminator kinds: the next block must be physically next.
+_FALLS_THROUGH = (TermKind.FALLTHROUGH, TermKind.COND, TermKind.CALL)
+
+
+def check_program(
+    program: Program,
+    config=None,
+    *,
+    roundtrip: bool = True,
+) -> list[CheckError]:
+    """Verify *program*; returns the list of violations.
+
+    With a machine *config*, geometry checks against its I-cache are
+    included.  *roundtrip* disables the (slower) encode/decode pass.
+    """
+    subject = program.name
+    errors: list[CheckError] = []
+
+    def flag(code: str, message: str, severity: str = "error") -> None:
+        errors.append(CheckError(code, subject, message, severity))
+
+    cfg = program.cfg
+    try:
+        cfg.validate()
+    except ValueError as exc:
+        flag("P006", str(exc))
+        return errors  # structure is broken; later checks would misfire
+
+    # Layout integrity: contiguous image, consistent block starts.
+    base = program.base_address
+    for offset, instr in enumerate(program.instructions):
+        if instr.address != base + offset:
+            flag(
+                "P004",
+                f"instruction {offset} is at address {instr.address}, "
+                f"expected {base + offset}",
+            )
+            break
+    for block_id, start in program.block_start.items():
+        block = cfg.block(block_id)
+        if block.instructions and block.instructions[0].address != start:
+            flag(
+                "P004",
+                f"block {block_id} starts at "
+                f"{block.instructions[0].address}, layout recorded {start}",
+            )
+
+    block_starts = set(program.block_start.values())
+    for block in cfg.blocks:
+        terminator = block.terminator
+        if terminator is not None and block.taken_id != NO_BLOCK:
+            target = terminator.target
+            if target not in block_starts:
+                flag(
+                    "P001",
+                    f"block {block.block_id} terminator targets {target}, "
+                    "which is not a block start",
+                )
+            elif target != program.block_start[block.taken_id]:
+                flag(
+                    "P002",
+                    f"block {block.block_id} terminator targets {target}, "
+                    f"taken successor {block.taken_id} starts at "
+                    f"{program.block_start[block.taken_id]}",
+                )
+        if block.term_kind in _FALLS_THROUGH:
+            expected = program.block_start[block.block_id] + block.size
+            actual = program.block_start.get(block.fall_id)
+            if actual != expected:
+                flag(
+                    "P003",
+                    f"block {block.block_id} falls through to "
+                    f"{block.fall_id} at {actual}, but ends at {expected}",
+                )
+
+    if roundtrip:
+        for instr in program.instructions:
+            try:
+                word = encode(instr)
+                decoded = decode(word, address=instr.address)
+            except EncodingError as exc:
+                flag("P005", f"address {instr.address}: {exc}")
+                continue
+            same = (
+                decoded.op is instr.op
+                and decoded.dest == instr.dest
+                and decoded.src1 == instr.src1
+                and decoded.src2 == instr.src2
+            )
+            # RET targets are call-site dependent and stay UNPLACED in
+            # the encoding; every other control target must survive.
+            if same and instr.target != UNPLACED and instr.op is not OpClass.RET:
+                same = decoded.target == instr.target
+            if not same:
+                flag(
+                    "P005",
+                    f"address {instr.address}: {instr!r} decoded as "
+                    f"{decoded!r}",
+                )
+
+    if config is not None:
+        cache_words = config.icache_bytes // BYTES_PER_INSTRUCTION
+        for block in cfg.blocks:
+            if block.size > cache_words:
+                flag(
+                    "P007",
+                    f"block {block.block_id} holds {block.size} "
+                    f"instructions; the {config.name} I-cache holds "
+                    f"{cache_words}",
+                    severity="warning",
+                )
+    return errors
+
+
+def validate_program(program: Program, config=None) -> None:
+    """Raise :class:`CheckFailure` if *program* is illegal."""
+    errors = [e for e in check_program(program, config) if e.severity == "error"]
+    if errors:
+        raise CheckFailure(errors)

@@ -1,0 +1,131 @@
+"""Dynamic-trace legality checker.
+
+Re-interprets a :class:`~repro.workloads.trace.DynamicTrace` against the
+program's CFG and proves that every dynamic transition is an edge the
+CFG actually has: non-control instructions fall through, conditional
+branches go to their taken or fall successor, jumps and calls go to
+their one target, and returns pop the continuation a matching call
+pushed (or restart the program from the entry, the generator's
+``restart_on_halt`` semantics).  A trace that passes cannot make a fetch
+scheme or the core observe control flow the program does not contain —
+which is what PR 1's fast path implicitly assumes.
+"""
+
+from __future__ import annotations
+
+from repro.check.errors import CheckError, CheckFailure
+from repro.program.basic_block import TermKind
+from repro.program.program import Program
+from repro.workloads.trace import DynamicTrace
+
+
+def check_trace(
+    program: Program,
+    trace: DynamicTrace,
+    max_errors: int = 20,
+) -> list[CheckError]:
+    """Verify *trace* executes only edges of *program*'s CFG.
+
+    Reports at most *max_errors* findings (one corrupt splice usually
+    cascades; the first finding is the authoritative one).
+    """
+    subject = f"{program.name}/seed{trace.seed}"
+    errors: list[CheckError] = []
+
+    def flag(code: str, message: str) -> bool:
+        """Record a finding; True while the error budget remains."""
+        errors.append(CheckError(code, subject, message))
+        return len(errors) < max_errors
+
+    base = program.base_address
+    end = program.end_address
+    image = program.instructions
+    block_start = program.block_start
+    cfg = program.cfg
+    entry_address = program.entry_address
+    call_stack: list[int] = []
+
+    instructions = trace.instructions
+    for position, instr in enumerate(instructions):
+        address = instr.address
+        if not base <= address < end:
+            if not flag(
+                "T001",
+                f"position {position}: address {address} outside "
+                f"[{base}, {end})",
+            ):
+                return errors
+            continue
+        if image[address - base] is not instr:
+            if not flag(
+                "T005",
+                f"position {position}: instruction at {address} is not "
+                "the program's instruction at that address",
+            ):
+                return errors
+            continue
+        if position + 1 >= len(instructions):
+            break  # the trace is budget-truncated mid-stream
+        nxt = instructions[position + 1].address
+
+        if not instr.is_control:
+            if nxt != address + 1:
+                if not flag(
+                    "T003",
+                    f"position {position}: {instr.op.name} at {address} "
+                    f"followed by {nxt}, expected {address + 1}",
+                ):
+                    return errors
+            continue
+
+        block = cfg.block(instr.block_id)
+        kind = block.term_kind
+        if kind is TermKind.COND:
+            taken_to = block_start[block.taken_id]
+            if nxt != taken_to and nxt != address + 1:
+                if not flag(
+                    "T002",
+                    f"position {position}: conditional at {address} went "
+                    f"to {nxt}; legal successors are {taken_to} (taken) "
+                    f"and {address + 1} (fall-through)",
+                ):
+                    return errors
+        elif kind in (TermKind.JUMP, TermKind.CALL):
+            taken_to = block_start[block.taken_id]
+            if nxt != taken_to:
+                if not flag(
+                    "T002",
+                    f"position {position}: {kind.name} at {address} went "
+                    f"to {nxt}, target is {taken_to}",
+                ):
+                    return errors
+            if kind is TermKind.CALL:
+                call_stack.append(block_start[block.fall_id])
+        elif kind is TermKind.RET:
+            if call_stack:
+                expected = call_stack.pop()
+                if nxt != expected:
+                    if not flag(
+                        "T004",
+                        f"position {position}: return at {address} went "
+                        f"to {nxt}, call stack says {expected}",
+                    ):
+                        return errors
+                    # Resynchronise: trust the trace's continuation so one
+                    # bad return does not cascade through the whole walk.
+                    call_stack.clear()
+            elif nxt != entry_address:
+                if not flag(
+                    "T004",
+                    f"position {position}: halting return at {address} "
+                    f"went to {nxt}, restart entry is {entry_address}",
+                ):
+                    return errors
+    return errors
+
+
+def validate_trace(program: Program, trace: DynamicTrace) -> None:
+    """Raise :class:`CheckFailure` if *trace* is illegal for *program*."""
+    errors = check_trace(program, trace)
+    if errors:
+        raise CheckFailure(errors)

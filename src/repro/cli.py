@@ -8,7 +8,10 @@ Commands:
 * ``characterize [BENCH ...]`` — workload characterisation table.
 * ``experiment NAME [NAME ...]`` — regenerate paper tables/figures.
 * ``ablation NAME [NAME ...]`` — run the beyond-paper ablation studies.
-* ``sweep`` — batch-simulate a grid of configurations (``--jobs N``).
+* ``sweep`` — batch-simulate a grid of configurations (``--jobs N``);
+  ``--sanitize`` runs every job under the pipeline sanitizer.
+* ``check`` — lint a benchmark x machine x scheme matrix with the
+  ``repro.check`` verifiers (exit 1 on any violation).
 * ``report`` — every paper artifact, in order.
 """
 
@@ -121,9 +124,36 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.api import check_matrix
+
+    report = check_matrix(
+        benchmarks=args.benchmarks or None,
+        machines=args.machines or None,
+        schemes=args.schemes or None,
+        length=args.length,
+        seed=args.seed,
+        fetch=not args.no_fetch,
+        variants=tuple(args.variants),
+    )
+    for finding in report.errors + report.warnings:
+        print(finding)
+    print(
+        f"{report.checks_run} checks: {len(report.errors)} error(s), "
+        f"{len(report.warnings)} warning(s)"
+    )
+    return 0 if report.ok else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
     from repro.sim.batch import run_batch_report, suite_jobs
 
+    if args.sanitize:
+        # Env (not a flag threaded through SimJob) so worker processes
+        # inherit it; the result-cache digest includes this knob.
+        os.environ["REPRO_SANITIZE"] = "1"
     benchmarks = tuple(args.benchmarks or ALL_BENCHMARKS)
     machines = tuple(args.machines or [m.name for m in MACHINES])
     schemes = tuple(args.schemes or HARDWARE_SCHEMES)
@@ -238,7 +268,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes (default: CPU count; 1 = serial)",
     )
+    sweep.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every simulation under the pipeline sanitizer",
+    )
     sweep.set_defaults(func=_cmd_sweep)
+
+    check = sub.add_parser(
+        "check",
+        help="lint programs, configs, traces and fetch packets",
+    )
+    check.add_argument("--benchmarks", nargs="*", metavar="BENCH")
+    check.add_argument("--machines", nargs="*", metavar="MACHINE")
+    check.add_argument("--schemes", nargs="*", metavar="SCHEME")
+    check.add_argument("--length", type=int, default=4_000)
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--no-fetch",
+        action="store_true",
+        help="skip the packet-checked fetch pass (static layers only)",
+    )
+    check.add_argument(
+        "--variants",
+        nargs="*",
+        default=["orig"],
+        metavar="VARIANT",
+        help="program variants to lint (orig reordered pad_all pad_trace)",
+    )
+    check.set_defaults(func=_cmd_check)
 
     pipetrace = sub.add_parser(
         "pipetrace", help="cycle-by-cycle pipeline trace"

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.compiler.profile import EdgeProfile, collect_profile
+from repro.compiler.profile import collect_profile
 from repro.compiler.trace_selection import TraceSet, select_traces
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass

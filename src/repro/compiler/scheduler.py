@@ -14,7 +14,6 @@ from __future__ import annotations
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
 from repro.isa.registers import NO_REG
-from repro.program.basic_block import BasicBlock
 from repro.program.program import Program, clone_cfg
 
 _MEMORY_OPS = (OpClass.LOAD, OpClass.STORE)

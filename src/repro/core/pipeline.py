@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.core.regfiles import READY, FutureFile
 from repro.core.rob import EntryState, ReorderBuffer, ROBEntry
 from repro.core.units import FunctionalUnits, ResultBuses
-from repro.core.window import SchedulingWindow, WindowEntry
+from repro.core.window import SchedulingWindow
 from repro.isa.registers import NO_REG
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import LATENCY_FOR_OP, UNIT_FOR_OP, OpClass

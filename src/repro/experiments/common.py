@@ -156,6 +156,11 @@ def sim_stats(
     Memoised twice: per process via ``lru_cache``, and across processes
     via the persistent disk cache (:mod:`repro.sim.cache`) — batch
     workers, repeated experiment invocations and CI runs share results.
+
+    ``REPRO_SANITIZE=1`` makes the simulation run under the pipeline
+    sanitizer (:mod:`repro.check.sanitizer`); the disk-cache key is
+    salted with that knob, but the in-process ``lru_cache`` is not —
+    flip the environment before the first call, not between calls.
     """
     key = (
         benchmark,

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.branch.btb import BranchTargetBuffer, BTBPrediction
 from repro.branch.predictors import DirectionPredictor
@@ -30,6 +31,9 @@ from repro.isa.opcodes import OpClass
 from repro.machines.config import MachineConfig
 from repro.memory.icache import InstructionCache
 from repro.workloads.trace import DynamicTrace
+
+if TYPE_CHECKING:
+    from repro.check.sanitizer import PacketChecker
 
 
 @dataclass(slots=True)
@@ -91,6 +95,10 @@ class FetchUnit(ABC):
     name: str = "abstract"
     #: I-cache banks the scheme requires.
     num_banks: int = 1
+    #: Optional packet-legality checker (``repro.check``): when set,
+    #: every delivered plan is verified against the scheme's declarative
+    #: capability rules before it is compared with the trace.
+    checker: "PacketChecker | None" = None
 
     def __init__(
         self,
@@ -163,10 +171,13 @@ class FetchUnit(ABC):
             return FetchResult([])
         self.stats.cycles += 1
         fetch_address = addresses[position]
-        plan = self.plan(fetch_address, min(limit, self.config.issue_rate))
+        width = min(limit, self.config.issue_rate)
+        plan = self.plan(fetch_address, width)
         if plan.stall_cycles > 0:
             self.stats.cache_stall_cycles += plan.stall_cycles
             return FetchResult([], stall_cycles=plan.stall_cycles)
+        if self.checker is not None:
+            self.checker.check_plan(self, fetch_address, plan, width)
 
         matched = 0
         mispredict = False

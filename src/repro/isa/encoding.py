@@ -7,11 +7,11 @@ capacity accounting and by tests that round-trip programs):
 
 Register format (NOP/IALU/FALU/LOAD/STORE)::
 
-    [31:26] opcode  [25:20] dest  [19:14] src1  [13:8] src2  [7:0] zero
+    [31:26] opcode  [25:19] dest  [18:12] src1  [11:5] src2  [4:0] zero
 
 Branch format (BR_COND)::
 
-    [31:26] opcode  [25:20] src1  [19:0] signed target displacement (words)
+    [31:26] opcode  [25:19] src1  [18:0] signed target displacement (words)
 
 Jump format (JUMP/CALL/RET)::
 
@@ -28,16 +28,18 @@ from repro.isa.opcodes import OpClass
 from repro.isa.registers import NO_REG
 
 _OPCODE_SHIFT = 26
-_DEST_SHIFT = 20
-_SRC1_SHIFT = 14
-_SRC2_SHIFT = 8
-_REG_MASK = 0x3F
+_DEST_SHIFT = 19
+_SRC1_SHIFT = 12
+_SRC2_SHIFT = 5
+_REG_MASK = 0x7F
 
-_BR_DISP_BITS = 20
+_BR_DISP_BITS = 19
 _JMP_DISP_BITS = 26
 
-#: Register field value encoding "no register".
-_REG_NONE = 0x3F
+#: Register field value encoding "no register".  Fields are 7 bits wide
+#: so all 64 architectural registers (f31 = id 63) encode alongside the
+#: sentinel; a 6-bit field would alias f31 with "no register".
+_REG_NONE = 0x7F
 
 
 class EncodingError(ValueError):

@@ -9,7 +9,7 @@ layout from the owning basic block's successor labels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.opcodes import (
     LATENCY_FOR_OP,

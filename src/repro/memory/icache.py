@@ -12,7 +12,7 @@ Addresses are instruction-word indices (4 bytes each); a *block index* is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.isa.instruction import BYTES_PER_INSTRUCTION
 

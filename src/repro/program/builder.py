@@ -26,7 +26,7 @@ from dataclasses import dataclass
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass
 from repro.isa.registers import NO_REG
-from repro.program.basic_block import NO_BLOCK, BasicBlock, TermKind
+from repro.program.basic_block import BasicBlock, TermKind
 from repro.program.cfg import ControlFlowGraph, Function
 from repro.program.program import Program
 

@@ -12,6 +12,10 @@ simulator source is unchanged.  This module provides that memo on disk:
 * Every key is salted with :func:`source_version`, a digest over all
   ``repro`` package sources — any code change invalidates the whole
   cache rather than risking stale results.
+* Keys are also salted with the ``repro.check`` environment knobs
+  (:data:`_CHECK_ENV_KNOBS`), so a sanitized run never reuses an
+  unsanitized entry: a cache hit would silently skip the invariant
+  checks the caller asked for.
 * ``REPRO_CACHE=0`` disables the cache entirely.
 * Loads are corruption-tolerant: a truncated, unreadable or
   key-colliding file is deleted and treated as a miss.
@@ -70,8 +74,28 @@ def source_version() -> str:
     return _source_version_memo
 
 
+#: Environment knobs that change what a simulation *checks* (not what it
+#: computes).  They join the cache key so e.g. ``sweep --sanitize`` runs
+#: the sanitizer instead of replaying an unsanitized cached result.
+_CHECK_ENV_KNOBS = ("REPRO_SANITIZE", "REPRO_CHECK_DEEP_PERIOD")
+
+
+def _check_env_fingerprint() -> tuple:
+    """Current values of the check-relevant env knobs (fresh each call —
+    ``sweep --sanitize`` flips them after this module is imported)."""
+    return tuple(os.environ.get(knob, "") for knob in _CHECK_ENV_KNOBS)
+
+
 def _entry_path(kind: str, key: tuple) -> Path:
-    payload = repr((FORMAT_VERSION, source_version(), kind, key))
+    payload = repr(
+        (
+            FORMAT_VERSION,
+            source_version(),
+            _check_env_fingerprint(),
+            kind,
+            key,
+        )
+    )
     name = hashlib.sha256(payload.encode()).hexdigest()
     return cache_dir() / f"{name}.pkl"
 

@@ -26,11 +26,18 @@ def run_trace(
     machine: MachineConfig | str,
     scheme: str,
     warmup: int = DEFAULT_WARMUP,
+    sanitize: bool | None = None,
 ) -> SimStats:
-    """Simulate *trace* on *machine* with the fetch *scheme*."""
+    """Simulate *trace* on *machine* with the fetch *scheme*.
+
+    *sanitize* opts into the ``repro.check`` pipeline sanitizer
+    (``None`` defers to the ``REPRO_SANITIZE`` environment knob).
+    """
     if isinstance(machine, str):
         machine = get_machine(machine)
-    return Simulator(machine, trace, scheme, warmup=warmup).run()
+    return Simulator(
+        machine, trace, scheme, warmup=warmup, sanitize=sanitize
+    ).run()
 
 
 def run_workload(
@@ -40,6 +47,7 @@ def run_workload(
     max_instructions: int = DEFAULT_TRACE_LENGTH,
     seed: int = TEST_INPUT_SEED,
     warmup: int = DEFAULT_WARMUP,
+    sanitize: bool | None = None,
 ) -> SimStats:
     """Generate a trace for *workload* and simulate it.
 
@@ -52,7 +60,7 @@ def run_workload(
     trace = generate_trace(
         workload.program, workload.behavior, max_instructions, seed=seed
     )
-    return run_trace(trace, machine, scheme, warmup=warmup)
+    return run_trace(trace, machine, scheme, warmup=warmup, sanitize=sanitize)
 
 
 def run_program(

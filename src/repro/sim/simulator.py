@@ -29,8 +29,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.check.sanitizer import PipelineSanitizer, sanitize_enabled
 from repro.core.pipeline import ExecutionCore
-from repro.core.rob import EntryState, ROBEntry
+from repro.core.rob import EntryState
 from repro.fetch.base import FetchUnit
 from repro.fetch.factory import create_fetch_unit
 from repro.isa.opcodes import OpClass
@@ -66,6 +67,7 @@ class Simulator:
         warmup: int = 0,
         prewarm_cache: bool = True,
         wrong_path_fetch: bool = False,
+        sanitize: bool | None = None,
     ) -> None:
         """Set up a run.
 
@@ -82,6 +84,14 @@ class Simulator:
         I-cache pollution real speculation causes (off by default: the
         correct-path timeline is identical either way, only cache state
         differs).
+
+        *sanitize* opts into the cycle-level pipeline sanitizer and the
+        per-packet legality checker (:mod:`repro.check.sanitizer`);
+        ``None`` (the default) defers to the ``REPRO_SANITIZE``
+        environment knob.  Sanitized runs produce bit-identical
+        statistics — the checkers only read state — and raise
+        :class:`~repro.check.errors.CheckFailure` on the first violated
+        invariant.
         """
         self.config = config
         self.trace = trace
@@ -94,6 +104,9 @@ class Simulator:
         self.wrong_path_fetch = wrong_path_fetch
         self.wrong_path_cycles = 0
         self._snapshot: dict[str, int] | None = None
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        self.sanitizer = PipelineSanitizer(self) if sanitize else None
         if prewarm_cache and trace.instructions:
             self._prewarm_icache()
 
@@ -147,6 +160,7 @@ class Simulator:
         dispatch_queue = core.dispatch_queue
         fetch_cycle = fetch.fetch_cycle
         train = fetch.train
+        sanitizer = self.sanitizer
         DONE = EntryState.DONE
         BR_COND = OpClass.BR_COND
 
@@ -244,6 +258,9 @@ class Simulator:
             if not waiting_for_resolution:
                 wrong_path_address = -1
 
+            if sanitizer is not None:
+                sanitizer.on_cycle(cycle, position, dispatch_head)
+
             cycle += 1
 
             # -- event skip: jump over provably idle cycles --------------
@@ -299,6 +316,8 @@ class Simulator:
                         core_stats.speculation_stalls += skipped
                     cycle = target
 
+        if sanitizer is not None:
+            sanitizer.on_finish(cycle)
         return self._collect_stats(cycle)
 
     def run_reference(self) -> SimStats:
@@ -411,8 +430,15 @@ class Simulator:
             if not waiting_for_resolution:
                 wrong_path_address = -1
 
+            if self.sanitizer is not None:
+                self.sanitizer.on_cycle(
+                    cycle, position, position - len(queue)
+                )
+
             cycle += 1
 
+        if self.sanitizer is not None:
+            self.sanitizer.on_finish(cycle)
         return self._collect_stats(cycle)
 
     # -- statistics --------------------------------------------------------------

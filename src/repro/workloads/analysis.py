@@ -12,7 +12,6 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.isa.opcodes import OpClass
 from repro.metrics.branches import taken_branch_stats
 from repro.workloads.generator import Workload
 from repro.workloads.trace import TEST_INPUT_SEED, generate_trace

@@ -16,7 +16,7 @@ from repro.workloads.trace import DynamicTrace
 
 # -- strategies ---------------------------------------------------------------
 
-reg = st.integers(min_value=-1, max_value=62)
+reg = st.integers(min_value=-1, max_value=63)
 alu_instr = st.builds(
     Instruction,
     st.sampled_from([OpClass.IALU, OpClass.FALU, OpClass.LOAD, OpClass.STORE]),
