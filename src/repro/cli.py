@@ -3,13 +3,18 @@
 Commands:
 
 * ``list`` — benchmarks, machine models, fetch schemes.
-* ``simulate BENCH MACHINE SCHEME`` — one full IPC simulation.
+* ``simulate BENCH MACHINE SCHEME`` — one full IPC simulation;
+  ``--telemetry [DIR]`` runs instrumented and prints the slot
+  attribution and phase timings (writing JSONL + manifest to ``DIR``).
 * ``eir BENCH MACHINE`` — fetch-only alignment efficiency of all schemes.
+* ``stats BENCH MACHINE`` — telemetry breakdown: where every fetch slot
+  went, per scheme, with an EIR-gap decomposition against ``perfect``.
 * ``characterize [BENCH ...]`` — workload characterisation table.
 * ``experiment NAME [NAME ...]`` — regenerate paper tables/figures.
 * ``ablation NAME [NAME ...]`` — run the beyond-paper ablation studies.
 * ``sweep`` — batch-simulate a grid of configurations (``--jobs N``);
-  ``--sanitize`` runs every job under the pipeline sanitizer.
+  ``--sanitize`` runs every job under the pipeline sanitizer,
+  ``--telemetry [DIR]`` under the instrumented loop.
 * ``check`` — lint a benchmark x machine x scheme matrix with the
   ``repro.check`` verifiers (exit 1 on any violation).
 * ``report`` — every paper artifact, in order.
@@ -55,15 +60,84 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    stats = run_workload(
-        args.benchmark,
-        get_machine(args.machine),
-        args.scheme,
-        max_instructions=args.length,
-        seed=args.seed,
+    machine = get_machine(args.machine)
+    if args.telemetry is None:
+        stats = run_workload(
+            args.benchmark,
+            machine,
+            args.scheme,
+            max_instructions=args.length,
+            seed=args.seed,
+        )
+        for key, value in stats.as_dict().items():
+            print(f"{key:20s} {value}")
+        return 0
+
+    # Instrumented run: build the simulator directly so the full
+    # TelemetryReport (phase timers, counters) is available, not just
+    # the slot_* keys that survive in SimStats.extra.
+    import time
+
+    from repro.sim import cache as result_cache
+    from repro.sim.runner import DEFAULT_WARMUP
+    from repro.sim.simulator import Simulator
+    from repro.telemetry import (
+        CAUSES,
+        build_manifest,
+        config_fingerprint,
+        to_jsonl,
+        write_manifest,
     )
+
+    workload = load_workload(args.benchmark)
+    trace = generate_trace(
+        workload.program, workload.behavior, args.length, seed=args.seed
+    )
+    sim = Simulator(
+        machine, trace, args.scheme, warmup=DEFAULT_WARMUP, telemetry=True
+    )
+    start = time.perf_counter()
+    stats = sim.run()
+    wall = time.perf_counter() - start
     for key, value in stats.as_dict().items():
         print(f"{key:20s} {value}")
+
+    report = sim.telemetry_report
+    assert report is not None
+    rates = report.rates()
+    print(f"\nslot attribution (of {report.issue_rate} slots/cycle):")
+    for cause in CAUSES:
+        slots = report.attribution.get(cause, 0)
+        if slots:
+            print(f"  {cause:20s} {slots:>10d}  {rates[cause]:6.3f}/cycle")
+    print("\nphase wall-clock seconds:")
+    for name, seconds in sorted(
+        report.phase_seconds.items(), key=lambda item: -item[1]
+    ):
+        print(f"  {name:20s} {seconds:8.4f}")
+
+    if args.telemetry:  # a directory was given
+        from pathlib import Path
+
+        out = Path(args.telemetry)
+        record = stats.as_dict()
+        jsonl_path = to_jsonl([record], out / "telemetry.jsonl")
+        manifest = build_manifest(
+            command="simulate",
+            arguments={
+                "benchmark": args.benchmark,
+                "machine": machine.name,
+                "scheme": args.scheme,
+                "length": args.length,
+            },
+            configs={machine.name: config_fingerprint(machine)},
+            seeds={"trace": args.seed},
+            timings={"wall": wall, **report.phase_seconds},
+            results=[record],
+            cache_stats=result_cache.stats.as_dict(),
+        )
+        manifest_path = write_manifest(out / "manifest.json", manifest)
+        print(f"\nwrote {jsonl_path} and {manifest_path}")
     return 0
 
 
@@ -78,6 +152,175 @@ def _cmd_eir(args: argparse.Namespace) -> int:
     for scheme in HARDWARE_SCHEMES:
         eir = measure_eir(trace, machine, scheme).eir
         print(f"  {scheme:24s} {eir:5.2f}  ({100 * eir / perfect:5.1f}%)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Telemetry breakdown: where every fetch slot went, per scheme."""
+    import json
+    import time
+
+    from repro.experiments.common import telemetry_sim_stats
+    from repro.metrics.chart import BarGroup, bar_chart
+    from repro.metrics.summary import format_table
+    from repro.sim import cache as result_cache
+    from repro.telemetry import (
+        CAUSES,
+        build_manifest,
+        check_conservation,
+        config_fingerprint,
+        to_csv,
+        to_jsonl,
+        write_manifest,
+    )
+
+    machine = get_machine(args.machine)
+    schemes = list(args.schemes or HARDWARE_SCHEMES + ("perfect",))
+    issue_rate = machine.issue_rate
+
+    start = time.perf_counter()
+    results = {
+        scheme: telemetry_sim_stats(
+            args.benchmark,
+            machine.name,
+            scheme,
+            length=args.length,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+        for scheme in schemes
+    }
+    wall = time.perf_counter() - start
+
+    rates: dict[str, dict[str, float]] = {}
+    attributions: dict[str, dict[str, int]] = {}
+    for scheme, stats in results.items():
+        attribution = stats.slot_attribution()
+        check_conservation(attribution, stats.cycles, issue_rate)
+        attributions[scheme] = attribution
+        rates[scheme] = {
+            cause: attribution.get(cause, 0) / stats.cycles
+            for cause in CAUSES
+        }
+
+    # Loss causes that actually occurred anywhere, in taxonomy order.
+    losses = [
+        cause
+        for cause in CAUSES
+        if cause != "delivered"
+        and any(rates[scheme][cause] > 0 for scheme in schemes)
+    ]
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "benchmark": args.benchmark,
+                    "machine": machine.name,
+                    "issue_rate": issue_rate,
+                    "schemes": {
+                        scheme: {
+                            "eir": results[scheme].eir,
+                            "ipc": results[scheme].ipc,
+                            "cycles": results[scheme].cycles,
+                            "attribution": attributions[scheme],
+                            "rates": rates[scheme],
+                        }
+                        for scheme in schemes
+                    },
+                },
+                indent=2,
+            )
+        )
+    else:
+        headers = ["scheme", "EIR"] + losses
+        rows = [
+            [scheme, round(results[scheme].eir, 3)]
+            + [round(rates[scheme][cause], 3) for cause in losses]
+            for scheme in schemes
+        ]
+        print(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"fetch-slot attribution, slots/cycle of {issue_rate}: "
+                    f"{args.benchmark} on {machine.name}"
+                ),
+            )
+        )
+
+        # Decompose each scheme's EIR deficit against the perfect
+        # fetcher: by slot conservation the per-cause rate differences
+        # account for the gap exactly.
+        if "perfect" in results:
+            perfect_eir = results["perfect"].eir
+            print(f"\nEIR gap vs perfect ({perfect_eir:.3f}):")
+            for scheme in schemes:
+                if scheme == "perfect":
+                    continue
+                gap = perfect_eir - results[scheme].eir
+                if gap <= 1e-9:
+                    print(f"  {scheme}: no gap")
+                    continue
+                contributions = {
+                    cause: rates[scheme][cause] - rates["perfect"][cause]
+                    for cause in CAUSES
+                    if cause != "delivered"
+                }
+                explained = 100 * sum(contributions.values()) / gap
+                parts = ", ".join(
+                    f"{cause} {100 * delta / gap:+.1f}%"
+                    for cause, delta in sorted(
+                        contributions.items(), key=lambda item: -item[1]
+                    )
+                    if abs(delta) > 1e-9
+                )
+                print(
+                    f"  {scheme}: {gap:.3f} slots/cycle "
+                    f"({explained:.1f}% explained: {parts})"
+                )
+
+        chart_series = ["delivered"] + losses
+        groups = [
+            BarGroup(
+                label=scheme,
+                values=[rates[scheme][cause] for cause in chart_series],
+            )
+            for scheme in schemes
+        ]
+        print()
+        print(
+            bar_chart(
+                chart_series,
+                groups,
+                title="slots per cycle by cause",
+                unit=" slots/cyc",
+            )
+        )
+
+    records = [results[scheme].as_dict() for scheme in schemes]
+    if args.export_jsonl:
+        print(f"wrote {to_jsonl(records, args.export_jsonl)}")
+    if args.export_csv:
+        print(f"wrote {to_csv(records, args.export_csv)}")
+    if args.manifest:
+        manifest = build_manifest(
+            command="stats",
+            arguments={
+                "benchmark": args.benchmark,
+                "machine": machine.name,
+                "schemes": schemes,
+                "length": args.length,
+                "warmup": args.warmup,
+            },
+            configs={machine.name: config_fingerprint(machine)},
+            seeds={"trace": args.seed},
+            timings={"wall": wall},
+            results=records,
+            cache_stats=result_cache.stats.as_dict(),
+        )
+        print(f"wrote {write_manifest(args.manifest, manifest)}")
     return 0
 
 
@@ -154,6 +397,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Env (not a flag threaded through SimJob) so worker processes
         # inherit it; the result-cache digest includes this knob.
         os.environ["REPRO_SANITIZE"] = "1"
+    telemetry = args.telemetry is not None
     benchmarks = tuple(args.benchmarks or ALL_BENCHMARKS)
     machines = tuple(args.machines or [m.name for m in MACHINES])
     schemes = tuple(args.schemes or HARDWARE_SCHEMES)
@@ -164,6 +408,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         length=args.length,
         warmup=args.warmup,
         seed=args.seed,
+        telemetry=telemetry,
     )
     report = run_batch_report(jobs, processes=args.jobs)
     header = f"{'benchmark':12s} {'machine':8s} {'scheme':24s} {'IPC':>6s}"
@@ -178,6 +423,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({report.instructions_per_second:,.0f} simulated instructions/s, "
         f"{report.processes} process(es))"
     )
+    cache = report.cache_stats
+    print(
+        "result cache: "
+        f"{cache.get('hits', 0)} hit(s), {cache.get('misses', 0)} miss(es), "
+        f"{cache.get('stores', 0)} store(s), "
+        f"{cache.get('corrupt_dropped', 0)} dropped"
+    )
+    if telemetry and args.telemetry:  # a directory was given
+        from pathlib import Path
+
+        from repro.telemetry import (
+            build_manifest,
+            config_fingerprint,
+            to_jsonl,
+            write_manifest,
+        )
+
+        out = Path(args.telemetry)
+        records = [stats.as_dict() for stats in report.results]
+        jsonl_path = to_jsonl(records, out / "telemetry.jsonl")
+        manifest = build_manifest(
+            command="sweep",
+            arguments={
+                "benchmarks": list(benchmarks),
+                "machines": list(machines),
+                "schemes": list(schemes),
+                "length": args.length,
+                "warmup": args.warmup,
+                "jobs": report.processes,
+            },
+            configs={
+                name: config_fingerprint(get_machine(name))
+                for name in machines
+            },
+            seeds={"trace": args.seed},
+            timings={"wall": report.wall_seconds},
+            results=records,
+            cache_stats=cache,
+        )
+        manifest_path = write_manifest(out / "manifest.json", manifest)
+        print(f"wrote {jsonl_path} and {manifest_path}")
     return 0
 
 
@@ -222,6 +508,17 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("scheme")
     simulate.add_argument("--length", type=int, default=20_000)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "run instrumented: print slot attribution and phase timings; "
+            "with DIR, also write telemetry.jsonl + manifest.json there"
+        ),
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     eir = sub.add_parser("eir", help="fetch-only alignment efficiency")
@@ -230,6 +527,33 @@ def build_parser() -> argparse.ArgumentParser:
     eir.add_argument("--length", type=int, default=30_000)
     eir.add_argument("--seed", type=int, default=0)
     eir.set_defaults(func=_cmd_eir)
+
+    stats = sub.add_parser(
+        "stats",
+        help="telemetry slot-attribution breakdown across fetch schemes",
+    )
+    stats.add_argument("benchmark")
+    stats.add_argument("machine")
+    stats.add_argument(
+        "--schemes",
+        nargs="*",
+        metavar="SCHEME",
+        help="schemes to break down (default: hardware schemes + perfect)",
+    )
+    stats.add_argument("--length", type=int, default=20_000)
+    stats.add_argument("--warmup", type=int, default=4_000)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--json", action="store_true")
+    stats.add_argument(
+        "--export-jsonl", metavar="PATH", help="write per-scheme records"
+    )
+    stats.add_argument(
+        "--export-csv", metavar="PATH", help="write per-scheme records"
+    )
+    stats.add_argument(
+        "--manifest", metavar="PATH", help="write a run-provenance manifest"
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     characterize = sub.add_parser(
         "characterize", help="workload characterisation table"
@@ -272,6 +596,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize",
         action="store_true",
         help="run every simulation under the pipeline sanitizer",
+    )
+    sweep.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "run every job instrumented (slot attribution in results); "
+            "with DIR, write telemetry.jsonl + manifest.json there"
+        ),
     )
     sweep.set_defaults(func=_cmd_sweep)
 

@@ -186,6 +186,52 @@ def sim_stats(
 
 
 @lru_cache(maxsize=None)
+def telemetry_sim_stats(
+    benchmark: str,
+    machine_name: str,
+    scheme: str,
+    variant: str = "orig",
+    length: int = DEFAULT_CONFIG.trace_length,
+    warmup: int = DEFAULT_CONFIG.warmup,
+    seed: int = DEFAULT_CONFIG.seed,
+    fetch_penalty: int | None = None,
+    block_words: int = 4,
+) -> SimStats:
+    """:func:`sim_stats` under the instrumented telemetry loop.
+
+    Returns the same counted statistics with ``extra`` carrying the
+    ``slot_*`` attribution (deterministic integers, so they round-trip
+    through the disk cache).  Cached under a separate kind
+    (``telemetry_stats``) so plain and instrumented results never serve
+    each other.  Wall-clock phase timings are *not* cached — a cache
+    hit serves the attribution only.
+    """
+    key = (
+        benchmark,
+        machine_name,
+        scheme,
+        variant,
+        length,
+        warmup,
+        seed,
+        fetch_penalty,
+        block_words,
+    )
+    cached = result_cache.load("telemetry_stats", key)
+    if cached is not None:
+        return cached
+    machine = get_machine(machine_name)
+    if fetch_penalty is not None:
+        machine = machine.with_fetch_penalty(fetch_penalty)
+    trace = variant_trace(benchmark, variant, length, seed, block_words)
+    stats = Simulator(
+        machine, trace, scheme, warmup=warmup, telemetry=True
+    ).run()
+    result_cache.store("telemetry_stats", key, stats)
+    return stats
+
+
+@lru_cache(maxsize=None)
 def eir_stats(
     benchmark: str,
     machine_name: str,

@@ -54,9 +54,11 @@ class BankedSequentialFetch(FetchUnit):
 
         if self.cache.bank_of(successor_block) == self.cache.bank_of(block):
             # Bank interference: the successor block is not fetched.
+            plan.break_reason = "bank_conflict"
             return plan
         if not self.cache.access(successor_block):
             self.cache.fill(successor_block)
+            plan.break_reason = "cache_miss"
             return plan
 
         self._walk_sequential(

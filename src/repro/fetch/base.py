@@ -46,11 +46,18 @@ class FetchPlan:
             last planned address.
         stall_cycles: If positive, an I-cache miss: deliver nothing and
             stall this many cycles (the missing block has been filled).
+        break_reason: Why the plan stopped short of the issue width —
+            ``"full"`` (it didn't), ``"taken_branch"``, ``"alignment"``
+            (block boundary / structural limit), ``"bank_conflict"``, or
+            ``"cache_miss"`` (successor block missing).  Telemetry maps
+            it to a slot-attribution cause
+            (:mod:`repro.telemetry.attribution`).
     """
 
     addresses: list[int] = field(default_factory=list)
     next_address: int = -1
     stall_cycles: int = 0
+    break_reason: str = ""
 
 
 @dataclass(slots=True)
@@ -63,11 +70,14 @@ class FetchResult:
             mispredicted control transfer; fetch must stall until it
             resolves.
         stall_cycles: I-cache miss stall (no delivery this cycle).
+        break_reason: The plan's :attr:`FetchPlan.break_reason`, passed
+            through for slot attribution.
     """
 
     instructions: list[Instruction]
     mispredict: bool = False
     stall_cycles: int = 0
+    break_reason: str = ""
 
     @property
     def delivered(self) -> int:
@@ -212,7 +222,9 @@ class FetchUnit(ABC):
             self.stats.mispredicts += 1
         if matched == self.config.issue_rate:
             self.stats.full_deliveries += 1
-        return FetchResult(delivered, mispredict=mispredict)
+        return FetchResult(
+            delivered, mispredict=mispredict, break_reason=plan.break_reason
+        )
 
     def wrong_path_cycle(self, address: int, limit: int) -> int:
         """Fetch one *wrong-path* cycle starting at *address*.
@@ -317,7 +329,10 @@ class FetchUnit(ABC):
         Walks ``[start, stop)`` appending to the plan until *limit* is
         reached or the BTB predicts a taken transfer.  Returns the
         predicted taken target, or -1 if the walk ended sequentially
-        (at *stop* or at the limit).  ``plan.next_address`` is set.
+        (at *stop* or at the limit).  ``plan.next_address`` and
+        ``plan.break_reason`` are set (callers that continue the plan —
+        successor-block walks — overwrite the reason with the final
+        outcome).
         """
         predict = self._slot_predictor
         address = start
@@ -326,7 +341,11 @@ class FetchUnit(ABC):
             prediction = predict(address)
             if prediction.taken:
                 plan.next_address = prediction.target
+                plan.break_reason = "taken_branch"
                 return prediction.target
             address += 1
         plan.next_address = address
+        plan.break_reason = (
+            "full" if len(plan.addresses) >= limit else "alignment"
+        )
         return -1

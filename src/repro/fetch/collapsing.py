@@ -64,9 +64,13 @@ class CollapsingBufferFetch(FetchUnit):
                     address = target
                     continue
                 plan.next_address = target
+                plan.break_reason = "taken_branch"
                 return target
             address += 1
         plan.next_address = address
+        plan.break_reason = (
+            "full" if len(plan.addresses) >= limit else "alignment"
+        )
         return -1
 
     def plan(self, fetch_address: int, limit: int) -> FetchPlan:
@@ -92,9 +96,11 @@ class CollapsingBufferFetch(FetchUnit):
             successor_start = self._block_end(block)
 
         if self.cache.bank_of(successor_block) == self.cache.bank_of(block):
+            plan.break_reason = "bank_conflict"
             return plan
         if not self.cache.access(successor_block):
             self.cache.fill(successor_block)
+            plan.break_reason = "cache_miss"
             return plan
 
         self._walk_collapsing(successor_start, successor_block, limit, plan)

@@ -29,12 +29,18 @@ class InterleavedSequentialFetch(FetchUnit):
         # truncates this cycle's run at the block boundary (the block is
         # filled for the next access).
         stop_block = block
+        prefetch_missed = False
         if self.cache.access(block + 1):
             stop_block = block + 1
         else:
             self.cache.fill(block + 1)
+            prefetch_missed = True
         plan = FetchPlan()
         self._walk_sequential(
             fetch_address, self._block_end(stop_block), limit, plan
         )
+        if prefetch_missed and plan.break_reason == "alignment":
+            # The run reached the boundary only because the prefetched
+            # successor block was absent.
+            plan.break_reason = "cache_miss"
         return plan

@@ -34,6 +34,7 @@ class PerfectFetch(FetchUnit):
 
         seen_blocks = {first_block}
         address = fetch_address
+        plan.break_reason = "full"
         while len(plan.addresses) < limit:
             block = self._block_of(address)
             if block not in seen_blocks:
@@ -41,6 +42,7 @@ class PerfectFetch(FetchUnit):
                     # Fill in the background; the group truncates just
                     # before the missing block.
                     self.cache.fill(block)
+                    plan.break_reason = "cache_miss"
                     break
                 seen_blocks.add(block)
             plan.addresses.append(address)

@@ -12,7 +12,13 @@ from repro.fetch.base import FetchPlan, FetchUnit
 
 
 class SequentialFetch(FetchUnit):
-    """Single-block, mask-based sequential fetch."""
+    """Single-block, mask-based sequential fetch.
+
+    The single sequential walk also yields the plan's telemetry
+    ``break_reason`` directly: ``taken_branch`` when the run ends at a
+    predicted-taken branch, ``alignment`` at the block boundary,
+    ``full`` when the issue width is filled.
+    """
 
     name = "sequential"
     num_banks = 1

@@ -69,7 +69,15 @@ class TraceCacheFetch(InterleavedSequentialFetch):
                 next_address = (
                     prediction.target if prediction.taken else last + 1
                 )
-            return FetchPlan(addresses=addresses, next_address=next_address)
+            return FetchPlan(
+                addresses=addresses,
+                next_address=next_address,
+                # A short hit is a structural line limit — the recorded
+                # trace ended — which telemetry files under misalignment.
+                break_reason=(
+                    "full" if len(addresses) >= limit else "alignment"
+                ),
+            )
         self.trace_misses += 1
         return super().plan(fetch_address, limit)
 

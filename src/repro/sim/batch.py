@@ -20,8 +20,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.sim import cache as result_cache
 from repro.sim.stats import SimStats
 
 
@@ -38,6 +39,9 @@ class SimJob:
     seed: int = 0
     fetch_penalty: int | None = None
     block_words: int = 4
+    #: Run under the instrumented telemetry loop (slot attribution in
+    #: ``SimStats.extra``; cached under a separate result-cache kind).
+    telemetry: bool = False
 
 
 @dataclass(slots=True)
@@ -47,6 +51,10 @@ class BatchReport:
     results: list[SimStats]
     wall_seconds: float
     processes: int
+    #: Persistent result-cache counter deltas over the whole batch —
+    #: parent and workers combined (workers ship their deltas back with
+    #: each job result), so warm-vs-cold behaviour is directly visible.
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def simulated_instructions(self) -> int:
@@ -63,9 +71,10 @@ class BatchReport:
 
 def _run_job(job: SimJob) -> SimStats:
     # Imported here so workers resolve it after fork.
-    from repro.experiments.common import sim_stats
+    from repro.experiments.common import sim_stats, telemetry_sim_stats
 
-    return sim_stats(
+    runner = telemetry_sim_stats if job.telemetry else sim_stats
+    return runner(
         job.benchmark,
         job.machine,
         job.scheme,
@@ -78,11 +87,17 @@ def _run_job(job: SimJob) -> SimStats:
     )
 
 
-def _run_indexed(item: tuple[int, SimJob]) -> tuple[int, SimStats]:
+def _run_indexed(
+    item: tuple[int, SimJob],
+) -> tuple[int, SimStats, dict[str, int]]:
     """Module-level worker wrapper (picklable under ``spawn``): carries
-    the job's position so unordered completion can be reassembled."""
+    the job's position so unordered completion can be reassembled, plus
+    the result-cache counter delta this job produced in the worker (the
+    parent folds it into its own counters)."""
     index, job = item
-    return index, _run_job(job)
+    before = result_cache.stats.snapshot()
+    stats = _run_job(job)
+    return index, stats, result_cache.stats.since(before)
 
 
 def _start_method(requested: str | None) -> str | None:
@@ -124,10 +139,13 @@ def run_batch(
     context = multiprocessing.get_context(method)
     results: list[SimStats | None] = [None] * len(jobs)
     with context.Pool(processes) as pool:
-        for index, stats in pool.imap_unordered(
+        for index, stats, cache_delta in pool.imap_unordered(
             _run_indexed, enumerate(jobs), chunksize=chunksize
         ):
             results[index] = stats
+            # Fold the worker's cache activity into this process's
+            # counters so batch totals read like serial totals.
+            result_cache.stats.add(cache_delta)
     return results  # type: ignore[return-value]  # every index was filled
 
 
@@ -136,15 +154,20 @@ def run_batch_report(
     processes: int | None = None,
     start_method: str | None = None,
 ) -> BatchReport:
-    """:func:`run_batch` plus wall-clock and throughput accounting
-    (feeds the ``BENCH_sim_throughput.json`` perf record)."""
+    """:func:`run_batch` plus wall-clock, throughput and result-cache
+    accounting (feeds the ``BENCH_sim_throughput.json`` perf record and
+    the ``sweep`` summary/manifest)."""
     if processes is None:
         processes = min(len(jobs), os.cpu_count() or 1) if jobs else 1
+    cache_before = result_cache.stats.snapshot()
     start = time.perf_counter()
     results = run_batch(jobs, processes=processes, start_method=start_method)
     wall = time.perf_counter() - start
     return BatchReport(
-        results=results, wall_seconds=wall, processes=max(1, processes)
+        results=results,
+        wall_seconds=wall,
+        processes=max(1, processes),
+        cache_stats=result_cache.stats.since(cache_before),
     )
 
 

@@ -21,6 +21,10 @@ simulator source is unchanged.  This module provides that memo on disk:
   key-colliding file is deleted and treated as a miss.
 * Stores are atomic (write to a temp file, then ``os.replace``), so a
   killed process never leaves a half-written entry behind.
+* Every load/store is counted (:class:`ResultCacheStats`), so
+  warm-vs-cold behaviour is observable — the counters surface in the
+  ``sweep`` summary and in telemetry run manifests
+  (``docs/observability.md``).
 
 See ``docs/performance.md`` for the key/versioning scheme.
 """
@@ -31,6 +35,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
 
@@ -38,6 +43,53 @@ from typing import Any
 FORMAT_VERSION = 1
 
 _source_version_memo: str | None = None
+
+
+@dataclass(slots=True)
+class ResultCacheStats:
+    """Process-local counters over the persistent result cache.
+
+    ``corrupt_dropped`` counts entries deleted because they failed to
+    load (truncated pickle, digest collision) — a subset of ``misses``.
+    ``store_errors`` counts best-effort stores swallowed by an ``OSError``
+    (read-only or full filesystem).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    store_errors: int = 0
+    corrupt_dropped: int = 0
+    cleared: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    def snapshot(self) -> "ResultCacheStats":
+        return ResultCacheStats(**asdict(self))
+
+    def since(self, snapshot: "ResultCacheStats") -> dict[str, int]:
+        """Counter deltas accumulated after *snapshot*."""
+        base = snapshot.as_dict()
+        return {
+            name: value - base[name] for name, value in self.as_dict().items()
+        }
+
+    def add(self, delta: dict[str, int]) -> None:
+        """Merge counter *delta* (e.g. reported back by a batch worker)."""
+        for name, value in delta.items():
+            setattr(self, name, getattr(self, name) + value)
+
+
+#: Module-level counters (this process only; batch workers report their
+#: deltas back to the parent through :mod:`repro.sim.batch`).
+stats = ResultCacheStats()
+
+
+def reset_stats() -> None:
+    """Zero the process-local counters (tests, fresh measurements)."""
+    global stats
+    stats = ResultCacheStats()
 
 
 def cache_enabled() -> bool:
@@ -74,10 +126,17 @@ def source_version() -> str:
     return _source_version_memo
 
 
-#: Environment knobs that change what a simulation *checks* (not what it
-#: computes).  They join the cache key so e.g. ``sweep --sanitize`` runs
-#: the sanitizer instead of replaying an unsanitized cached result.
-_CHECK_ENV_KNOBS = ("REPRO_SANITIZE", "REPRO_CHECK_DEEP_PERIOD")
+#: Environment knobs that change what a simulation *checks* or *records*
+#: (not what it computes).  They join the cache key so e.g. ``sweep
+#: --sanitize`` runs the sanitizer instead of replaying an unsanitized
+#: cached result, and a ``REPRO_TELEMETRY=1`` run (whose ``SimStats``
+#: carry ``slot_*`` attribution in ``extra``) never serves — or is
+#: served by — a plain run's entry.
+_CHECK_ENV_KNOBS = (
+    "REPRO_SANITIZE",
+    "REPRO_CHECK_DEEP_PERIOD",
+    "REPRO_TELEMETRY",
+)
 
 
 def _check_env_fingerprint() -> tuple:
@@ -114,11 +173,15 @@ def load(kind: str, key: tuple) -> Any | None:
             payload = pickle.load(handle)
         if payload["key"] != (kind, key):
             raise ValueError("cache key mismatch")
+        stats.hits += 1
         return payload["value"]
     except FileNotFoundError:
+        stats.misses += 1
         return None
     except Exception:
         # Corrupt or foreign entry: drop it so the slot heals itself.
+        stats.misses += 1
+        stats.corrupt_dropped += 1
         try:
             path.unlink()
         except OSError:
@@ -144,6 +207,7 @@ def store(kind: str, key: tuple, value: Any) -> None:
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
             os.replace(tmp_name, path)
+            stats.stores += 1
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -152,7 +216,7 @@ def store(kind: str, key: tuple, value: Any) -> None:
             raise
     except OSError:
         # A read-only or full filesystem only costs the memoisation.
-        pass
+        stats.store_errors += 1
 
 
 def clear() -> int:
@@ -168,4 +232,5 @@ def clear() -> int:
             removed += 1
         except OSError:
             pass
+    stats.cleared += removed
     return removed

@@ -19,6 +19,11 @@ from repro.fetch.base import FetchUnit
 from repro.fetch.factory import create_fetch_unit
 from repro.machines.config import MachineConfig
 from repro.sim.simulator import _QueuedInstruction
+from repro.telemetry.attribution import (
+    CAUSES,
+    queue_gate_cause,
+    shortfall_cause,
+)
 from repro.workloads.trace import DynamicTrace
 
 
@@ -33,6 +38,11 @@ class CycleEvents:
     dispatched: int = 0
     fired: int = 0
     retired: int = 0
+    #: Slot ledger for this cycle: ``delivered`` slots plus the shortfall
+    #: charged to one cause; values sum to the machine's issue rate.
+    #: Uses the :data:`repro.telemetry.attribution.CAUSES` taxonomy, so
+    #: trace totals cross-check against the instrumented simulator.
+    attribution: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass(slots=True)
@@ -43,20 +53,37 @@ class PipeTrace:
     scheme: str
     events: list[CycleEvents] = field(default_factory=list)
 
+    def attribution_totals(self) -> dict[str, int]:
+        """Per-cause slot totals over the whole trace (every cause key
+        present, zero-filled).  For a run traced to completion these
+        equal the instrumented simulator's ledger, summing to
+        ``cycles * issue_rate``."""
+        totals = {cause: 0 for cause in CAUSES}
+        for event in self.events:
+            for cause, slots in event.attribution.items():
+                totals[cause] += slots
+        return totals
+
     def render(self, limit: int | None = 40) -> str:
         """Human-readable table of the first *limit* cycles."""
         lines = [
             f"pipeline trace: {self.scheme} on {self.machine}",
             f"{'cyc':>4} {'fetch group':<30} {'stall':<8} "
-            f"{'disp':>4} {'fire':>4} {'ret':>4}",
+            f"{'disp':>4} {'fire':>4} {'ret':>4}  {'slots lost to':<18}",
         ]
         for event in self.events[: limit or len(self.events)]:
             group = ",".join(str(a) for a in event.fetched)
             if event.mispredict:
                 group += " !mp"
+            lost = ", ".join(
+                f"{cause}:{slots}"
+                for cause, slots in event.attribution.items()
+                if cause != "delivered" and slots
+            )
             lines.append(
                 f"{event.cycle:>4} {group:<30.30} {event.stall:<8} "
                 f"{event.dispatched:>4} {event.fired:>4} {event.retired:>4}"
+                f"  {lost:<18}"
             )
         return "\n".join(lines)
 
@@ -93,7 +120,20 @@ def trace_pipeline(
     log = PipeTrace(machine=config.name, scheme=fetch.name)
     queue: list[_QueuedInstruction] = []
     fetch_blocked_until = 0
+    #: Cause charged while ``cycle < fetch_blocked_until`` ("icache_miss"
+    #: after a miss stall, "mispredict_resolve" during the restart
+    #: penalty) — same tracking as the instrumented simulator loop.
+    blocked_cause = ""
     waiting_for_resolution = False
+    issue_rate = config.issue_rate
+
+    def charge(events: CycleEvents, delivered: int, cause: str) -> None:
+        """Fill the cycle's slot ledger: *delivered* slots plus the
+        shortfall under *cause* (exactly ``issue_rate`` slots/cycle)."""
+        if delivered:
+            events.attribution["delivered"] = delivered
+        if issue_rate - delivered:
+            events.attribution[cause] = issue_rate - delivered
 
     for cycle in range(max_cycles):
         if core.retired_count >= total:
@@ -107,6 +147,7 @@ def trace_pipeline(
                 fetch_blocked_until = max(
                     fetch_blocked_until, cycle + config.fetch_penalty
                 )
+                blocked_cause = "mispredict_resolve"
         for entry in core.do_writeback(cycle):
             instr = entry.instruction
             if instr.is_control:
@@ -116,6 +157,7 @@ def trace_pipeline(
                 fetch_blocked_until = max(
                     fetch_blocked_until, cycle + config.fetch_penalty
                 )
+                blocked_cause = "mispredict_resolve"
         events.fired = core.do_fire(cycle)
 
         while queue:
@@ -137,15 +179,21 @@ def trace_pipeline(
         capacity = config.fetch_queue_groups * config.issue_rate
         if len(queue) + config.issue_rate > capacity:
             events.stall = "queue"
+            head = instructions[queue[0].trace_index] if queue else None
+            charge(events, 0, queue_gate_cause(core, head))
         elif waiting_for_resolution:
             events.stall = "resolve"
+            charge(events, 0, "mispredict_resolve")
         elif cycle < fetch_blocked_until:
             events.stall = "penalty"
+            charge(events, 0, blocked_cause or "mispredict_resolve")
         elif position < total:
             result = fetch.fetch_cycle(position, config.issue_rate)
             if result.stall_cycles:
                 fetch_blocked_until = cycle + result.stall_cycles
                 events.stall = "miss"
+                blocked_cause = "icache_miss"
+                charge(events, 0, "icache_miss")
             elif result.instructions:
                 events.fetched = [i.address for i in result.instructions]
                 events.mispredict = result.mispredict
@@ -154,6 +202,15 @@ def trace_pipeline(
                 if result.mispredict:
                     queue[-1].fetch_mispredicted = True
                     waiting_for_resolution = True
+                charge(
+                    events,
+                    len(result.instructions),
+                    shortfall_cause(result.break_reason, result.mispredict),
+                )
+            else:  # unreachable: an in-trace fetch delivers or stalls
+                charge(events, 0, "idle")
+        else:
+            charge(events, 0, "idle")  # trace drained; core still retiring
 
         log.events.append(events)
     return log

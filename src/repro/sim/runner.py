@@ -27,16 +27,24 @@ def run_trace(
     scheme: str,
     warmup: int = DEFAULT_WARMUP,
     sanitize: bool | None = None,
+    telemetry: bool | None = None,
 ) -> SimStats:
     """Simulate *trace* on *machine* with the fetch *scheme*.
 
-    *sanitize* opts into the ``repro.check`` pipeline sanitizer
-    (``None`` defers to the ``REPRO_SANITIZE`` environment knob).
+    *sanitize* opts into the ``repro.check`` pipeline sanitizer;
+    *telemetry* into the instrumented loop with slot attribution in
+    ``SimStats.extra`` (each ``None`` defers to its environment knob,
+    ``REPRO_SANITIZE`` / ``REPRO_TELEMETRY``).
     """
     if isinstance(machine, str):
         machine = get_machine(machine)
     return Simulator(
-        machine, trace, scheme, warmup=warmup, sanitize=sanitize
+        machine,
+        trace,
+        scheme,
+        warmup=warmup,
+        sanitize=sanitize,
+        telemetry=telemetry,
     ).run()
 
 
@@ -48,6 +56,7 @@ def run_workload(
     seed: int = TEST_INPUT_SEED,
     warmup: int = DEFAULT_WARMUP,
     sanitize: bool | None = None,
+    telemetry: bool | None = None,
 ) -> SimStats:
     """Generate a trace for *workload* and simulate it.
 
@@ -60,7 +69,14 @@ def run_workload(
     trace = generate_trace(
         workload.program, workload.behavior, max_instructions, seed=seed
     )
-    return run_trace(trace, machine, scheme, warmup=warmup, sanitize=sanitize)
+    return run_trace(
+        trace,
+        machine,
+        scheme,
+        warmup=warmup,
+        sanitize=sanitize,
+        telemetry=telemetry,
+    )
 
 
 def run_program(

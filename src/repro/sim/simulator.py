@@ -23,11 +23,23 @@ Two loop implementations produce bit-identical statistics:
 * :meth:`Simulator.run_reference` — the retained naive per-cycle loop,
   kept as the oracle for the equivalence guard in
   ``tests/test_equivalence.py``.
+
+A third, telemetry-instrumented loop exists behind the opt-in
+``telemetry`` flag (or ``REPRO_TELEMETRY=1``): per-cycle slot
+attribution (:mod:`repro.telemetry.attribution`), phase wall-clock
+timers and I-cache lookup timing.  It mirrors the reference loop's
+semantics — the reported :class:`SimStats` fields match the fast loop
+bit for bit — and additionally fills ``SimStats.extra`` with ``slot_*``
+attribution counters and leaves a
+:class:`~repro.telemetry.core.TelemetryReport` on
+``Simulator.telemetry_report``.  With telemetry off, the fast loop runs
+untouched.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.check.sanitizer import PipelineSanitizer, sanitize_enabled
 from repro.core.pipeline import ExecutionCore
@@ -37,6 +49,16 @@ from repro.fetch.factory import create_fetch_unit
 from repro.isa.opcodes import OpClass
 from repro.machines.config import MachineConfig
 from repro.sim.stats import SimStats
+from repro.telemetry.attribution import (
+    SlotAttribution,
+    queue_gate_cause,
+    shortfall_cause,
+)
+from repro.telemetry.core import (
+    MetricsRegistry,
+    TelemetryReport,
+    telemetry_enabled,
+)
 from repro.workloads.trace import DynamicTrace
 
 
@@ -68,6 +90,7 @@ class Simulator:
         prewarm_cache: bool = True,
         wrong_path_fetch: bool = False,
         sanitize: bool | None = None,
+        telemetry: bool | None = None,
     ) -> None:
         """Set up a run.
 
@@ -92,6 +115,13 @@ class Simulator:
         statistics — the checkers only read state — and raise
         :class:`~repro.check.errors.CheckFailure` on the first violated
         invariant.
+
+        *telemetry* opts into the instrumented loop (slot-level stall
+        attribution, phase timers); ``None`` defers to the
+        ``REPRO_TELEMETRY`` environment knob.  The counted statistics
+        stay identical to the fast loop's; ``SimStats.extra`` gains the
+        ``slot_*`` attribution, and :attr:`telemetry_report` carries the
+        full record after :meth:`run`.
         """
         self.config = config
         self.trace = trace
@@ -107,6 +137,15 @@ class Simulator:
         if sanitize is None:
             sanitize = sanitize_enabled()
         self.sanitizer = PipelineSanitizer(self) if sanitize else None
+        if telemetry is None:
+            telemetry = telemetry_enabled()
+        #: Metrics registry of the instrumented loop; ``None`` keeps the
+        #: fast event-skipping loop completely untouched.
+        self.telemetry: MetricsRegistry | None = (
+            MetricsRegistry() if telemetry else None
+        )
+        #: Filled by :meth:`run` when telemetry is on.
+        self.telemetry_report: TelemetryReport | None = None
         if prewarm_cache and trace.instructions:
             self._prewarm_icache()
 
@@ -126,7 +165,12 @@ class Simulator:
 
         Event-skipping loop: statistically bit-identical to
         :meth:`run_reference` (guarded by ``tests/test_equivalence.py``).
+        With telemetry on, the instrumented per-cycle loop runs instead
+        (same counted statistics, plus slot attribution in
+        ``stats.extra``).
         """
+        if self.telemetry is not None:
+            return self._run_instrumented()
         config = self.config
         core = self.core
         fetch = self.fetch_unit
@@ -440,6 +484,228 @@ class Simulator:
         if self.sanitizer is not None:
             self.sanitizer.on_finish(cycle)
         return self._collect_stats(cycle)
+
+    def _run_instrumented(self) -> SimStats:
+        """Telemetry loop: :meth:`run_reference` semantics plus slot
+        attribution, phase wall-clock timers and I-cache lookup timing.
+
+        Behaviourally identical to the reference loop — every state
+        transition below mirrors it — so the counted ``SimStats`` fields
+        equal the fast loop's (asserted by ``tests/test_telemetry.py``).
+        The extras: each cycle charges exactly ``issue_rate`` slots to
+        the attribution ledger, and each pipeline phase accumulates its
+        wall-clock share in the metrics registry.
+        """
+        config = self.config
+        core = self.core
+        fetch = self.fetch_unit
+        trace = self.trace
+        instructions = trace.instructions
+        total = len(instructions)
+        issue_rate = config.issue_rate
+        registry = self.telemetry
+        assert registry is not None
+        attribution = SlotAttribution(issue_rate)
+        add_time = registry.add_time
+
+        # Shadow the cache's bound ``access`` with a timing wrapper for
+        # the duration of this run (instance attribute; the class method
+        # is restored in the ``finally``).  Only instrumented runs pay
+        # this indirection.
+        cache = fetch.cache
+        original_access = cache.access
+
+        def timed_access(block_index: int) -> bool:
+            start = perf_counter()
+            try:
+                return original_access(block_index)
+            finally:
+                add_time("icache_lookup", perf_counter() - start)
+
+        cache.access = timed_access  # type: ignore[method-assign]
+
+        cycle = 0
+        position = 0  # next trace index to fetch
+        queue: list[_QueuedInstruction] = []
+        fetch_blocked_until = 0
+        #: Attribution cause while ``cycle < fetch_blocked_until``:
+        #: "icache_miss" after a miss stall, "mispredict_resolve" during
+        #: the post-resolution restart penalty.
+        blocked_cause = ""
+        waiting_for_resolution = False
+        wrong_path_address = -1
+        attr_snapshot: dict[str, int] | None = None
+        max_cycles = max(10_000, self.MAX_CPI * total)
+
+        try:
+            while core.retired_count < total:
+                if cycle > max_cycles:
+                    raise SimulationDeadlock(
+                        f"no forward progress after {cycle} cycles "
+                        f"({core.retired_count}/{total} retired)"
+                    )
+                if (
+                    self._snapshot is None
+                    and core.retired_count >= self.warmup
+                ):
+                    self._snapshot = self._counters(cycle)
+                    attr_snapshot = attribution.snapshot()
+
+                phase_start = perf_counter()
+                for entry in core.do_retire(cycle):
+                    if entry.fetch_mispredicted and config.recovery_at_retire:
+                        waiting_for_resolution = False
+                        fetch_blocked_until = max(
+                            fetch_blocked_until, cycle + config.fetch_penalty
+                        )
+                        blocked_cause = "mispredict_resolve"
+                now = perf_counter()
+                add_time("retire", now - phase_start)
+
+                phase_start = now
+                for entry in core.do_writeback(cycle):
+                    instr = entry.instruction
+                    if instr.is_control:
+                        fetch.train(
+                            instr, entry.actual_taken, entry.actual_target
+                        )
+                    if (
+                        entry.fetch_mispredicted
+                        and not config.recovery_at_retire
+                    ):
+                        waiting_for_resolution = False
+                        fetch_blocked_until = max(
+                            fetch_blocked_until, cycle + config.fetch_penalty
+                        )
+                        blocked_cause = "mispredict_resolve"
+                now = perf_counter()
+                add_time("writeback", now - phase_start)
+
+                phase_start = now
+                core.do_fire(cycle)
+                now = perf_counter()
+                add_time("fire", now - phase_start)
+
+                phase_start = now
+                while queue:
+                    queued = queue[0]
+                    instr = instructions[queued.trace_index]
+                    if not core.can_dispatch(instr):
+                        break
+                    core.dispatch(
+                        instr,
+                        queued.trace_index,
+                        fetch_mispredicted=queued.fetch_mispredicted,
+                        actual_taken=trace.is_taken(queued.trace_index),
+                        actual_target=trace.next_address(queued.trace_index),
+                    )
+                    queue.pop(0)
+                now = perf_counter()
+                add_time("dispatch", now - phase_start)
+
+                phase_start = now
+                queue_capacity = config.fetch_queue_groups * issue_rate
+                if (
+                    len(queue) + issue_rate <= queue_capacity
+                    and not waiting_for_resolution
+                    and cycle >= fetch_blocked_until
+                    and position < total
+                ):
+                    result = fetch.fetch_cycle(position, issue_rate)
+                    registry.inc("fetch_cycles")
+                    if result.stall_cycles:
+                        fetch_blocked_until = cycle + result.stall_cycles
+                        blocked_cause = "icache_miss"
+                        attribution.charge(0, "icache_miss")
+                    elif result.instructions:
+                        count = len(result.instructions)
+                        for offset in range(count):
+                            queue.append(
+                                _QueuedInstruction(position + offset, False)
+                            )
+                        if result.mispredict:
+                            queue[-1].fetch_mispredicted = True
+                            waiting_for_resolution = True
+                            if self.wrong_path_fetch:
+                                last = result.instructions[-1]
+                                prediction = fetch.predict_slot(last.address)
+                                wrong_path_address = (
+                                    prediction.target
+                                    if prediction.taken
+                                    else last.address + 1
+                                )
+                        position += count
+                        attribution.charge(
+                            count,
+                            shortfall_cause(
+                                result.break_reason, result.mispredict
+                            ),
+                        )
+                        registry.observe("delivered_per_fetch", count)
+                    else:  # unreachable: in-trace fetch delivers or stalls
+                        attribution.charge(0, "idle")
+                else:
+                    # The reference loop follows the wrong path in every
+                    # waiting cycle, independent of the other gates.
+                    if waiting_for_resolution and wrong_path_address >= 0:
+                        wrong_path_address = fetch.wrong_path_cycle(
+                            wrong_path_address, issue_rate
+                        )
+                        self.wrong_path_cycles += 1
+                        registry.inc("wrong_path_cycles")
+                    # Attribution precedence for the empty fetch slot:
+                    # queue gating first (shared with pipetrace via
+                    # queue_gate_cause), then branch resolution, then
+                    # the timed fetch-blocked penalty, then trace drain.
+                    if len(queue) + issue_rate > queue_capacity:
+                        head = (
+                            instructions[queue[0].trace_index]
+                            if queue
+                            else None
+                        )
+                        attribution.charge(0, queue_gate_cause(core, head))
+                    elif waiting_for_resolution:
+                        attribution.charge(0, "mispredict_resolve")
+                    elif cycle < fetch_blocked_until:
+                        attribution.charge(
+                            0, blocked_cause or "mispredict_resolve"
+                        )
+                    else:
+                        attribution.charge(0, "idle")
+                add_time("fetch", perf_counter() - phase_start)
+
+                if not waiting_for_resolution:
+                    wrong_path_address = -1
+
+                if self.sanitizer is not None:
+                    self.sanitizer.on_cycle(
+                        cycle, position, position - len(queue)
+                    )
+
+                cycle += 1
+        finally:
+            del cache.access  # restore the unwrapped class method
+
+        if self.sanitizer is not None:
+            self.sanitizer.on_finish(cycle)
+        stats = self._collect_stats(cycle)
+        measured = attribution.since(attr_snapshot or {})
+        stats.extra.update(
+            {f"slot_{cause}": count for cause, count in measured.items()}
+        )
+        stats.extra["issue_rate"] = issue_rate
+        self.telemetry_report = TelemetryReport(
+            attribution=measured,
+            cycles=stats.cycles,
+            issue_rate=issue_rate,
+            phase_seconds=dict(registry.timers),
+            counters=dict(registry.counters),
+            histograms={
+                name: histogram.as_dict()
+                for name, histogram in registry.histograms.items()
+            },
+        )
+        return stats
 
     # -- statistics --------------------------------------------------------------
 

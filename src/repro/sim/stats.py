@@ -65,6 +65,17 @@ class SimStats:
             return 0.0
         return self.fetch_mispredicts / self.dynamic_branches
 
+    def slot_attribution(self) -> dict[str, int]:
+        """Telemetry slot attribution carried in :attr:`extra`
+        (``slot_<cause>`` keys, stripped), or ``{}`` when the run was
+        not instrumented.  The values sum to ``cycles * issue_rate``
+        (:func:`repro.telemetry.attribution.check_conservation`)."""
+        return {
+            key[len("slot_"):]: int(value)
+            for key, value in self.extra.items()
+            if key.startswith("slot_")
+        }
+
     def as_dict(self) -> dict[str, float | int | str]:
         """Flat dictionary for tabulation."""
         return {

@@ -1,0 +1,67 @@
+"""Telemetry: metrics, slot-level stall attribution, provenance, export.
+
+Four cooperating pieces:
+
+* :mod:`repro.telemetry.core` — a tiny metrics registry (counters,
+  histograms, wall-clock timers) with a null backend, plus
+  :class:`TelemetryReport`, the record one instrumented simulation
+  produces.
+* :mod:`repro.telemetry.attribution` — the slot-conservation ledger:
+  every cycle each of the machine's ``issue_rate`` slots is charged to
+  exactly one cause, so losses sum to ``cycles * issue_rate`` exactly.
+* :mod:`repro.telemetry.manifest` — JSON run-provenance documents
+  (source digest, config fingerprints, environment knobs, host,
+  timings, result-cache statistics).
+* :mod:`repro.telemetry.export` — JSONL/CSV record writers.
+
+Telemetry is strictly opt-in: ``Simulator(..., telemetry=True)`` (or
+``REPRO_TELEMETRY=1`` through the runners) switches to an instrumented
+per-cycle loop; with it off the fast event-skipping loop runs untouched
+and ``SimStats`` stays bit-identical.  See ``docs/observability.md``.
+"""
+
+from repro.telemetry.attribution import (
+    CAUSES,
+    SlotAttribution,
+    check_conservation,
+    queue_gate_cause,
+    shortfall_cause,
+)
+from repro.telemetry.core import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TelemetryReport,
+    telemetry_enabled,
+)
+from repro.telemetry.export import read_jsonl, to_csv, to_jsonl
+from repro.telemetry.manifest import (
+    MANIFEST_VERSION,
+    build_manifest,
+    config_fingerprint,
+    environment_knobs,
+    write_manifest,
+)
+
+__all__ = [
+    "CAUSES",
+    "Histogram",
+    "MANIFEST_VERSION",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "SlotAttribution",
+    "TelemetryReport",
+    "build_manifest",
+    "check_conservation",
+    "config_fingerprint",
+    "environment_knobs",
+    "queue_gate_cause",
+    "read_jsonl",
+    "shortfall_cause",
+    "telemetry_enabled",
+    "to_csv",
+    "to_jsonl",
+    "write_manifest",
+]

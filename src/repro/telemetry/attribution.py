@@ -1,0 +1,153 @@
+"""Slot-level stall attribution — the paper's accounting, made explicit.
+
+Every cycle a machine offers ``issue_rate`` issue slots; the whole paper
+is an argument about where those slots go.  This module charges each
+slot of each cycle to exactly one cause, so that over any run
+
+``sum(attribution.values()) == cycles * issue_rate``
+
+holds bit-exactly (the conservation invariant ``tests/test_telemetry.py``
+asserts across schemes and machines).  The taxonomy:
+
+=====================  =========================================================
+``delivered``          Slot carried a correct-path instruction to decode.
+``taken_branch_break`` Fetch run ended at a predicted-taken branch the scheme
+                       cannot fetch past (the paper's headline loss).
+``misalignment``       Run ended at a cache-block boundary (or a structural
+                       line limit) with no branch involved.
+``bank_conflict``      The successor block mapped to the busy bank, so the
+                       second fetch was dropped (banked/collapsing schemes).
+``icache_miss``        Fetch stalled on a miss fill, or the run truncated at a
+                       missing successor block.
+``mispredict_resolve`` Fetch idled waiting for a mispredicted branch to resolve
+                       or sat out the post-resolution restart penalty; also the
+                       slots lost when delivery truncated at the misprediction.
+``queue_full``         The decoupling queue had no room for a fetch group while
+                       the core itself could still accept work.
+``window_full``        Core backpressure: the scheduling window/ROB was full or
+                       speculation depth was exhausted, so the full queue could
+                       not drain.
+``idle``               The trace is fully fetched; the core is draining.
+=====================  =========================================================
+
+The per-cycle *classification* helpers live here too so the three
+consumers — the instrumented simulator loop, the pipetrace recorder and
+the tests — agree on precedence by construction: queue gating is
+checked first, then misprediction resolution, then fetch-blocked
+penalties, then trace exhaustion, and only then does fetch run.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass
+
+#: All causes, report order: useful work first, fetch-side losses,
+#: core-side losses, drain.
+CAUSES: tuple[str, ...] = (
+    "delivered",
+    "taken_branch_break",
+    "misalignment",
+    "bank_conflict",
+    "icache_miss",
+    "mispredict_resolve",
+    "queue_full",
+    "window_full",
+    "idle",
+)
+
+#: ``FetchPlan.break_reason`` values -> attribution causes for the slots
+#: a short delivery leaves empty.  An unset reason (a third-party scheme
+#: that never learned to report one) conservatively reads as
+#: misalignment.
+BREAK_REASON_CAUSE: dict[str, str] = {
+    "taken_branch": "taken_branch_break",
+    "alignment": "misalignment",
+    "bank_conflict": "bank_conflict",
+    "cache_miss": "icache_miss",
+    "full": "misalignment",
+    "": "misalignment",
+}
+
+
+class SlotAttribution:
+    """Per-run slot ledger.  Charge exactly once per cycle."""
+
+    __slots__ = ("issue_rate", "counts")
+
+    def __init__(self, issue_rate: int) -> None:
+        self.issue_rate = issue_rate
+        self.counts: dict[str, int] = dict.fromkeys(CAUSES, 0)
+
+    def charge(self, delivered: int, cause: str) -> None:
+        """Charge one cycle: *delivered* slots did work, the remaining
+        ``issue_rate - delivered`` slots are lost to *cause*."""
+        counts = self.counts
+        if delivered:
+            counts["delivered"] += delivered
+        shortfall = self.issue_rate - delivered
+        if shortfall:
+            counts[cause] += shortfall
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.counts)
+
+    def since(self, snapshot: dict[str, int]) -> dict[str, int]:
+        """Counts accumulated after *snapshot* (the measured region)."""
+        return {
+            cause: self.counts[cause] - snapshot.get(cause, 0)
+            for cause in self.counts
+        }
+
+
+def shortfall_cause(break_reason: str, mispredict: bool) -> str:
+    """Cause for the slots a short (but non-empty) delivery left empty.
+
+    A mispredicted delivery truncated at the divergence, so the missing
+    slots are part of the misprediction's bill regardless of how the
+    plan itself ended.
+    """
+    if mispredict:
+        return "mispredict_resolve"
+    return BREAK_REASON_CAUSE.get(break_reason, "misalignment")
+
+
+def queue_gate_cause(core, head_instruction) -> str:
+    """Cause for a cycle whose fetch was gated by decoupling-queue
+    capacity.
+
+    Reads core state without recording statistics (``can_dispatch``
+    would charge stall counters).  The queue drains every cycle until
+    its head blocks, so a capacity-gated fetch almost always traces back
+    to core backpressure (``window_full``); ``queue_full`` is kept for
+    the residual case of a dispatchable head behind a still-full queue.
+    """
+    window = core.window
+    rob = core.rob
+    if window._occupied >= window.size or len(rob._entries) >= rob.capacity:
+        return "window_full"
+    if (
+        head_instruction is not None
+        and head_instruction.op is OpClass.BR_COND
+        and core.unresolved_branches >= core.config.speculation_depth
+    ):
+        # Speculation depth is core-side backpressure too: the window
+        # has room but refuses more unresolved branches.
+        return "window_full"
+    return "queue_full"
+
+
+def check_conservation(
+    attribution: dict[str, int], cycles: int, issue_rate: int
+) -> None:
+    """Raise ``AssertionError`` unless the ledger sums to
+    ``cycles * issue_rate`` with no negative entries."""
+    negative = {c: n for c, n in attribution.items() if n < 0}
+    if negative:
+        raise AssertionError(f"negative slot attribution: {negative}")
+    total = sum(attribution.values())
+    expected = cycles * issue_rate
+    if total != expected:
+        raise AssertionError(
+            f"slot attribution sums to {total}, expected "
+            f"{cycles} cycles x {issue_rate} slots = {expected}"
+        )

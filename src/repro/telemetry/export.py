@@ -1,0 +1,60 @@
+"""Telemetry exporters: JSON-lines and CSV.
+
+Both take flat record dictionaries (one per simulation — typically
+``SimStats.as_dict()`` rows, which carry the ``slot_*`` attribution
+keys when the run was instrumented) and write them out for downstream
+tooling.  JSONL preserves types and ragged keys; CSV flattens onto the
+union of all keys for spreadsheet use.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+
+def to_jsonl(records: Iterable[dict], path: str | Path) -> Path:
+    """Write one JSON document per line; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=False))
+            handle.write("\n")
+    return target
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Load a JSONL file back into record dictionaries."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _union_fields(records: Sequence[dict]) -> list[str]:
+    """All keys across *records*, first-seen order."""
+    fields: dict[str, None] = {}
+    for record in records:
+        for key in record:
+            fields.setdefault(key)
+    return list(fields)
+
+
+def to_csv(records: Iterable[dict], path: str | Path) -> Path:
+    """Write records as CSV over the union of their keys."""
+    rows = list(records)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.DictWriter(
+            handle, fieldnames=_union_fields(rows), restval=""
+        )
+        writer.writeheader()
+        writer.writerows(rows)
+    return target

@@ -69,3 +69,47 @@ def test_clear_removes_entries(cache_env):
 def test_source_version_is_stable():
     assert cache.source_version() == cache.source_version()
     assert len(cache.source_version()) == 64
+
+
+def test_counters_track_miss_store_hit(cache_env):
+    cache.reset_stats()
+    key = ("espresso", "PI4", "sequential", 500)
+    assert cache.load("sim_stats", key) is None
+    cache.store("sim_stats", key, 1)
+    assert cache.load("sim_stats", key) == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.stores == 1
+    assert cache.stats.hits == 1
+
+
+def test_counters_track_corruption(cache_env):
+    cache.reset_stats()
+    key = ("li", "PI8", "perfect")
+    cache.store("sim_stats", key, 42)
+    (entry,) = cache_env.glob("**/*.pkl")
+    entry.write_bytes(b"junk")
+    assert cache.load("sim_stats", key) is None
+    assert cache.stats.corrupt_dropped == 1
+    assert cache.stats.misses == 1
+
+
+def test_stats_snapshot_delta_and_merge(cache_env):
+    cache.reset_stats()
+    before = cache.stats.snapshot()
+    cache.store("sim_stats", ("a",), 1)
+    cache.load("sim_stats", ("a",))
+    delta = cache.stats.since(before)
+    assert delta["stores"] == 1
+    assert delta["hits"] == 1
+    # A worker's delta folds into a fresh parent-side accumulator.
+    fresh = cache.ResultCacheStats()
+    fresh.add(delta)
+    assert (fresh.hits, fresh.stores) == (1, 1)
+
+
+def test_telemetry_knob_salts_the_key(cache_env, monkeypatch):
+    key = ("espresso", "PI4", "sequential")
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    cache.store("sim_stats", key, "plain")
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    assert cache.load("sim_stats", key) is None  # different generation

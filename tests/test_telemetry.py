@@ -1,0 +1,407 @@
+"""Telemetry subsystem tests.
+
+The contracts locked in here:
+
+* **Slot conservation** — an instrumented run charges every one of the
+  machine's ``issue_rate`` fetch slots each cycle to exactly one cause,
+  so the ledger sums to ``cycles * issue_rate`` for every scheme,
+  machine and workload.
+* **Zero interference** — telemetry is opt-in; with it off the fast
+  loop runs untouched, ``SimStats.extra`` stays empty, and with it on
+  the counted statistics still equal the uninstrumented run's.
+* **Cross-checks** — the pipetrace's per-cycle attribution and the
+  instrumented simulator agree total for total, and the EIR gap between
+  ``sequential`` and ``perfect`` is fully explained by the per-cause
+  rate differences.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.machines.presets import get_machine
+from repro.sim import cache as result_cache
+from repro.sim.pipetrace import trace_pipeline
+from repro.sim.simulator import Simulator
+from repro.telemetry import (
+    CAUSES,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    build_manifest,
+    check_conservation,
+    read_jsonl,
+    to_csv,
+    to_jsonl,
+)
+from repro.workloads.micro import MICRO_WORKLOADS
+from repro.workloads.suite import load_workload
+from repro.workloads.trace import generate_trace
+
+LENGTH = 3_000
+WARMUP = 500
+
+
+@pytest.fixture(autouse=True)
+def _isolated_env(tmp_path, monkeypatch):
+    """Telemetry off by default, disk cache confined to the test."""
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    result_cache.reset_stats()
+
+
+def _trace(benchmark: str, length: int = LENGTH):
+    workload = load_workload(benchmark)
+    return generate_trace(workload.program, workload.behavior, length, seed=0)
+
+
+def _instrumented(machine, trace, scheme, **kwargs):
+    sim = Simulator(machine, trace, scheme, telemetry=True, **kwargs)
+    stats = sim.run()
+    assert sim.telemetry_report is not None
+    return stats, sim.telemetry_report
+
+
+# -- slot conservation ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("machine_name", ("PI4", "PI12"))
+@pytest.mark.parametrize(
+    "scheme",
+    (
+        "sequential",
+        "interleaved_sequential",
+        "banked_sequential",
+        "collapsing_buffer",
+        "perfect",
+        "trace_cache",
+    ),
+)
+def test_conservation_across_schemes(machine_name, scheme):
+    machine = get_machine(machine_name)
+    stats, report = _instrumented(
+        machine, _trace("espresso"), scheme, warmup=WARMUP
+    )
+    check_conservation(report.attribution, report.cycles, machine.issue_rate)
+    # The ledger's delivered slots are exactly the delivered statistic.
+    assert report.attribution["delivered"] == stats.delivered
+    # ... and the stats.extra payload carries the same ledger.
+    assert stats.slot_attribution() == report.attribution
+    assert stats.extra["issue_rate"] == machine.issue_rate
+
+
+@pytest.mark.parametrize("name", sorted(MICRO_WORKLOADS))
+@pytest.mark.parametrize("scheme", ("sequential", "collapsing_buffer"))
+def test_conservation_on_micro_workloads(name, scheme):
+    machine = get_machine("PI8")
+    workload = MICRO_WORKLOADS[name]()
+    trace = generate_trace(workload.program, workload.behavior, 2_000, seed=0)
+    _, report = _instrumented(machine, trace, scheme)
+    check_conservation(report.attribution, report.cycles, machine.issue_rate)
+
+
+def test_conservation_checker_rejects_bad_ledgers():
+    with pytest.raises(AssertionError):
+        check_conservation({"delivered": 7}, cycles=2, issue_rate=4)
+    with pytest.raises(AssertionError):
+        check_conservation({"delivered": 8, "idle": -2}, 2, 4)
+    check_conservation({"delivered": 6, "idle": 2}, 2, 4)
+
+
+# -- zero interference ---------------------------------------------------------
+
+
+def test_off_by_default_and_extra_stays_empty():
+    sim = Simulator(get_machine("PI4"), _trace("espresso"), "sequential")
+    assert sim.telemetry is None
+    stats = sim.run()
+    assert stats.extra == {}
+    assert sim.telemetry_report is None
+
+
+def test_env_knob_enables_and_parameter_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    machine = get_machine("PI4")
+    trace = _trace("espresso", 1_000)
+    assert Simulator(machine, trace, "sequential").telemetry is not None
+    assert Simulator(
+        machine, trace, "sequential", telemetry=False
+    ).telemetry is None
+
+
+def test_instrumented_counts_match_fast_loop():
+    machine = get_machine("PI4")
+    trace = _trace("li")
+    fast = Simulator(machine, trace, "sequential", warmup=WARMUP).run()
+    instrumented, _ = _instrumented(
+        machine, trace, "sequential", warmup=WARMUP
+    )
+    for field in dataclasses.fields(type(fast)):
+        if field.name == "extra":
+            continue
+        assert getattr(fast, field.name) == getattr(instrumented, field.name)
+
+
+# -- cache round-trip ----------------------------------------------------------
+
+
+def test_extra_survives_the_result_cache():
+    from repro.experiments.common import telemetry_sim_stats
+
+    run = telemetry_sim_stats.__wrapped__  # bypass the lru memo
+    kwargs = dict(length=2_000, warmup=400)
+    first = run("espresso", "PI4", "sequential", **kwargs)
+    assert first.slot_attribution()  # instrumented payload present
+    assert result_cache.stats.stores == 1
+    second = run("espresso", "PI4", "sequential", **kwargs)
+    assert result_cache.stats.hits == 1
+    assert second.extra == first.extra
+    assert second == first
+
+
+# -- pipetrace cross-check -----------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", ("sequential", "collapsing_buffer"))
+def test_pipetrace_attribution_matches_simulator(scheme):
+    machine = get_machine("PI4")
+    trace = _trace("espresso", 1_200)
+    _, report = _instrumented(machine, trace, scheme)
+    log = trace_pipeline(machine, trace, scheme, max_cycles=100_000)
+    totals = log.attribution_totals()
+    assert sum(totals.values()) == len(log.events) * machine.issue_rate
+    expected = {cause: report.attribution.get(cause, 0) for cause in CAUSES}
+    assert totals == expected
+
+
+# -- gap decomposition ---------------------------------------------------------
+
+
+def test_gap_between_sequential_and_perfect_is_explained():
+    machine = get_machine("PI8")
+    trace = _trace("espresso", 4_000)
+    seq, seq_report = _instrumented(
+        machine, trace, "sequential", warmup=WARMUP
+    )
+    perf, perf_report = _instrumented(
+        machine, trace, "perfect", warmup=WARMUP
+    )
+    gap = perf.eir - seq.eir
+    assert gap > 0
+    seq_rates = seq_report.rates()
+    perf_rates = perf_report.rates()
+    explained = sum(
+        seq_rates.get(cause, 0.0) - perf_rates.get(cause, 0.0)
+        for cause in CAUSES
+        if cause != "delivered"
+    )
+    # Slot conservation makes the decomposition exact (well above the
+    # >= 95% acceptance bar).
+    assert explained == pytest.approx(gap, rel=1e-9)
+
+
+# -- metrics core --------------------------------------------------------------
+
+
+def test_histogram_moments():
+    histogram = Histogram()
+    assert histogram.as_dict()["count"] == 0
+    for value in (2.0, 4.0, 6.0):
+        histogram.observe(value)
+    assert histogram.mean == 4.0
+    assert histogram.as_dict() == {
+        "count": 3,
+        "total": 12.0,
+        "min": 2.0,
+        "max": 6.0,
+        "mean": 4.0,
+    }
+
+
+def test_registry_and_null_registry():
+    registry = MetricsRegistry()
+    registry.inc("events")
+    registry.inc("events", 2)
+    registry.observe("sizes", 3.0)
+    registry.add_time("phase", 0.5)
+    with registry.timer("phase"):
+        pass
+    assert registry.counters["events"] == 3
+    assert registry.histograms["sizes"].count == 1
+    assert registry.timers["phase"] >= 0.5
+    assert registry.as_dict()["counters"] == {"events": 3}
+
+    null = NullRegistry()
+    null.inc("events")
+    null.observe("sizes", 3.0)
+    null.add_time("phase", 0.5)
+    with null.timer("phase"):
+        pass
+    assert null.counters == {} and null.timers == {}
+    assert not null.enabled
+
+
+# -- exporters and manifest ----------------------------------------------------
+
+
+def test_jsonl_round_trip_and_csv_union(tmp_path):
+    records = [{"a": 1, "b": "x"}, {"a": 2, "c": 3.5}]
+    jsonl = to_jsonl(records, tmp_path / "records.jsonl")
+    assert read_jsonl(jsonl) == records
+    csv_path = to_csv(records, tmp_path / "records.csv")
+    lines = csv_path.read_text().splitlines()
+    assert lines[0] == "a,b,c"
+    assert lines[1] == "1,x,"
+    assert lines[2] == "2,,3.5"
+
+
+def test_manifest_schema(tmp_path):
+    manifest = build_manifest(
+        command="stats",
+        arguments={"benchmark": "espresso"},
+        seeds={"trace": 0},
+        timings={"wall": 1.25},
+        results=[{"ipc": 2.0}],
+        cache_stats={"hits": 1},
+    )
+    for key in (
+        "manifest_version",
+        "created_unix",
+        "created_utc",
+        "command",
+        "arguments",
+        "source_version",
+        "config_fingerprints",
+        "seeds",
+        "environment",
+        "host",
+        "timings_seconds",
+        "result_cache",
+        "results",
+    ):
+        assert key in manifest, key
+    assert manifest["command"] == "stats"
+    assert len(manifest["source_version"]) == 64
+    # JSON-serialisable end to end.
+    json.loads(json.dumps(manifest))
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_stats_json(capsys):
+    rc = cli_main(
+        [
+            "stats",
+            "espresso",
+            "PI4",
+            "--schemes",
+            "sequential",
+            "perfect",
+            "--length",
+            "2000",
+            "--warmup",
+            "400",
+            "--json",
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["issue_rate"] == 4
+    schemes = payload["schemes"]
+    assert schemes["sequential"]["attribution"]["delivered"] > 0
+    assert schemes["perfect"]["eir"] >= schemes["sequential"]["eir"]
+
+
+def test_cli_stats_table_chart_and_exports(tmp_path, capsys):
+    rc = cli_main(
+        [
+            "stats",
+            "espresso",
+            "PI4",
+            "--schemes",
+            "sequential",
+            "perfect",
+            "--length",
+            "2000",
+            "--warmup",
+            "400",
+            "--export-jsonl",
+            str(tmp_path / "t.jsonl"),
+            "--export-csv",
+            str(tmp_path / "t.csv"),
+            "--manifest",
+            str(tmp_path / "manifest.json"),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fetch-slot attribution" in out
+    assert "EIR gap vs perfect" in out
+    assert "% explained" in out
+    assert "slots/cyc" in out  # the bar chart rendered
+    records = read_jsonl(tmp_path / "t.jsonl")
+    assert {r["scheme"] for r in records} == {"sequential", "perfect"}
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["command"] == "stats"
+    assert manifest["results"]
+
+
+def test_cli_simulate_telemetry(tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    rc = cli_main(
+        [
+            "simulate",
+            "espresso",
+            "PI4",
+            "sequential",
+            "--length",
+            "6000",
+            "--telemetry",
+            str(out_dir),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "slot attribution" in out
+    assert "phase wall-clock" in out
+    (record,) = read_jsonl(out_dir / "telemetry.jsonl")
+    assert record["slot_delivered"] > 0
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    assert manifest["command"] == "simulate"
+    assert "fetch" in manifest["timings_seconds"]
+
+
+def test_cli_sweep_telemetry(tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    rc = cli_main(
+        [
+            "sweep",
+            "--benchmarks",
+            "espresso",
+            "--machines",
+            "PI4",
+            "--schemes",
+            "sequential",
+            "perfect",
+            "--length",
+            "2000",
+            "--warmup",
+            "400",
+            "--jobs",
+            "1",
+            "--telemetry",
+            str(out_dir),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "result cache:" in out
+    records = read_jsonl(out_dir / "telemetry.jsonl")
+    assert len(records) == 2
+    assert all("slot_delivered" in record for record in records)
+    manifest = json.loads((out_dir / "manifest.json").read_text())
+    assert manifest["command"] == "sweep"
+    assert manifest["result_cache"]
