@@ -12,7 +12,10 @@ Commands:
 * ``characterize [BENCH ...]`` — workload characterisation table.
 * ``experiment NAME [NAME ...]`` — regenerate paper tables/figures.
 * ``ablation NAME [NAME ...]`` — run the beyond-paper ablation studies.
-* ``sweep`` — batch-simulate a grid of configurations (``--jobs N``);
+* ``sweep`` — batch-simulate a grid of configurations (``--jobs N``)
+  under the supervised engine: ``--timeout``/``--retries`` set the
+  recovery policy, ``--journal DIR`` records completions and
+  ``--resume DIR`` skips work already journalled there;
   ``--sanitize`` runs every job under the pipeline sanitizer,
   ``--telemetry [DIR]`` under the instrumented loop.
 * ``check`` — lint a benchmark x machine x scheme matrix with the
@@ -391,7 +394,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import os
 
-    from repro.sim.batch import run_batch_report, suite_jobs
+    from repro.sim.batch import (
+        BatchError,
+        SupervisorConfig,
+        SweepJournal,
+        run_batch_report,
+        suite_jobs,
+    )
 
     if args.sanitize:
         # Env (not a flag threaded through SimJob) so worker processes
@@ -410,7 +419,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         telemetry=telemetry,
     )
-    report = run_batch_report(jobs, processes=args.jobs)
+    journal_dir = args.resume or args.journal
+    journal = SweepJournal(journal_dir) if journal_dir else None
+    config = SupervisorConfig(
+        timeout=args.timeout, max_attempts=max(1, args.retries + 1)
+    )
+    try:
+        report = run_batch_report(
+            jobs,
+            processes=args.jobs,
+            config=config,
+            journal=journal,
+            resume=args.resume is not None,
+        )
+    except KeyboardInterrupt:
+        # Workers are already terminated and the journal flushed (the
+        # supervisor guarantees both before re-raising).
+        print("\nsweep interrupted — workers terminated.", file=sys.stderr)
+        if journal_dir:
+            print(
+                f"completed jobs are journalled in {journal_dir}; resume "
+                f"with the same command plus '--resume {journal_dir}'",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "no journal was active; pass '--journal DIR' (or "
+                "'--resume DIR') to make sweeps resumable",
+                file=sys.stderr,
+            )
+        return 130
+    except BatchError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if journal is not None:
+            journal.close()
     header = f"{'benchmark':12s} {'machine':8s} {'scheme':24s} {'IPC':>6s}"
     print(header)
     for job, stats in zip(jobs, report.results):
@@ -423,12 +467,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({report.instructions_per_second:,.0f} simulated instructions/s, "
         f"{report.processes} process(es))"
     )
+    counts = report.outcome_counts
+    extra_attempts = sum(len(o.failures) for o in report.outcomes)
+    summary = ", ".join(
+        f"{counts[status]} {status}"
+        for status in ("ok", "retried", "timeout", "crashed", "skipped")
+        if counts.get(status)
+    )
+    print(
+        f"job outcomes: {summary or 'none'}"
+        + (f" ({extra_attempts} failed attempt(s) retried)" if extra_attempts else "")
+        + (" — degraded to serial execution" if report.degraded_serial else "")
+    )
     cache = report.cache_stats
     print(
         "result cache: "
         f"{cache.get('hits', 0)} hit(s), {cache.get('misses', 0)} miss(es), "
         f"{cache.get('stores', 0)} store(s), "
         f"{cache.get('corrupt_dropped', 0)} dropped"
+        + (
+            " — cache auto-disabled (filesystem error)"
+            if cache.get("auto_disabled")
+            else ""
+        )
     )
     if telemetry and args.telemetry:  # a directory was given
         from pathlib import Path
@@ -452,6 +513,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 "length": args.length,
                 "warmup": args.warmup,
                 "jobs": report.processes,
+                "timeout": args.timeout,
+                "retries": args.retries,
+                "resume": bool(args.resume),
             },
             configs={
                 name: config_fingerprint(get_machine(name))
@@ -461,6 +525,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             timings={"wall": report.wall_seconds},
             results=records,
             cache_stats=cache,
+            outcomes=[outcome.as_dict() for outcome in report.outcomes],
         )
         manifest_path = write_manifest(out / "manifest.json", manifest)
         print(f"wrote {jsonl_path} and {manifest_path}")
@@ -591,6 +656,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="worker processes (default: CPU count; 1 = serial)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-job wall-clock timeout; a stuck worker is terminated "
+            "and the job retried (default: none)"
+        ),
+    )
+    sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "retries per job after a crash/timeout/exception, with "
+            "exponential backoff (default: 2)"
+        ),
+    )
+    sweep.add_argument(
+        "--journal",
+        metavar="DIR",
+        help=(
+            "append each completed job to DIR/journal.jsonl so an "
+            "interrupted sweep can be resumed with --resume DIR"
+        ),
+    )
+    sweep.add_argument(
+        "--resume",
+        metavar="DIR",
+        help=(
+            "serve jobs already completed in DIR/journal.jsonl "
+            "(bit-identical results) and journal new completions there"
+        ),
     )
     sweep.add_argument(
         "--sanitize",

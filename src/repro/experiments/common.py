@@ -16,6 +16,7 @@ import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+from repro import faults
 from repro.compiler import pad_all, pad_trace, reorder_program
 from repro.machines.config import MachineConfig
 from repro.machines.presets import MACHINES, get_machine
@@ -162,6 +163,9 @@ def sim_stats(
     salted with that knob, but the in-process ``lru_cache`` is not —
     flip the environment before the first call, not between calls.
     """
+    # Chaos site: lets the harness prove a transient failure here is
+    # retried (lru_cache does not memoise the raised exception).
+    faults.maybe_fail("sim.stats")
     key = (
         benchmark,
         machine_name,

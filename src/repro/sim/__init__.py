@@ -1,6 +1,16 @@
 """Simulation driver: simulator, statistics, and runners."""
 
-from repro.sim.batch import SimJob, run_batch, suite_jobs
+from repro.sim.batch import (
+    BatchError,
+    BatchReport,
+    JobOutcome,
+    SimJob,
+    SupervisorConfig,
+    SweepJournal,
+    run_batch,
+    run_batch_report,
+    suite_jobs,
+)
 from repro.sim.eir import EIRResult, measure_eir
 from repro.sim.pipetrace import CycleEvents, PipeTrace, trace_pipeline
 from repro.sim.runner import (
@@ -14,17 +24,23 @@ from repro.sim.simulator import SimulationDeadlock, Simulator
 from repro.sim.stats import SimStats
 
 __all__ = [
+    "BatchError",
+    "BatchReport",
     "DEFAULT_TRACE_LENGTH",
     "EIRResult",
     "CycleEvents",
+    "JobOutcome",
     "PipeTrace",
     "SimJob",
+    "SupervisorConfig",
+    "SweepJournal",
     "measure_eir",
     "DEFAULT_WARMUP",
     "SimStats",
     "SimulationDeadlock",
     "Simulator",
     "run_batch",
+    "run_batch_report",
     "run_program",
     "run_trace",
     "run_workload",

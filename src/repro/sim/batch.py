@@ -9,21 +9,45 @@ Completed jobs also land in the persistent disk cache
 (:mod:`repro.sim.cache`), so results flow back to the parent — and to
 every later process — even across start methods.
 
-Results come back in job order regardless of completion order: jobs are
-dealt to the pool as ``(index, job)`` pairs via chunked
-``imap_unordered`` (cheaper than ordered ``map`` for uneven job
-lengths) and reassembled by index.
+Execution is *supervised* (:mod:`repro.sim.supervisor`): per-job
+timeouts, bounded retries with backoff, dead-worker requeue (degrading
+to serial execution after repeated pool failures), a per-job
+:class:`~repro.sim.supervisor.JobOutcome` audit trail, and an optional
+append-only journal that lets ``repro sweep --resume`` skip finished
+work after any interruption.  Results come back in job order regardless
+of completion order; a job that cannot be completed raises
+:class:`~repro.sim.supervisor.BatchError` naming it — never a silent
+``None`` hole in the result list.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
 
 from repro.sim import cache as result_cache
 from repro.sim.stats import SimStats
+from repro.sim.supervisor import (
+    BatchError,
+    JobOutcome,
+    SupervisorConfig,
+    SweepJournal,
+    outcome_counts,
+    run_supervised,
+)
+
+__all__ = [
+    "BatchError",
+    "BatchReport",
+    "JobOutcome",
+    "SimJob",
+    "SupervisorConfig",
+    "SweepJournal",
+    "run_batch",
+    "run_batch_report",
+    "suite_jobs",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +79,12 @@ class BatchReport:
     #: parent and workers combined (workers ship their deltas back with
     #: each job result), so warm-vs-cold behaviour is directly visible.
     cache_stats: dict[str, int] = field(default_factory=dict)
+    #: Per-job supervision audit (ok/retried/timeout/crashed/skipped,
+    #: attempts, failure reasons) — see :mod:`repro.sim.supervisor`.
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    #: True when the supervisor degraded to in-process execution after
+    #: repeated worker failures.
+    degraded_serial: bool = False
 
     @property
     def simulated_instructions(self) -> int:
@@ -67,6 +97,11 @@ class BatchReport:
         if self.wall_seconds <= 0:
             return 0.0
         return self.simulated_instructions / self.wall_seconds
+
+    @property
+    def outcome_counts(self) -> dict[str, int]:
+        """Status histogram of :attr:`outcomes`."""
+        return outcome_counts(self.outcomes)
 
 
 def _run_job(job: SimJob) -> SimStats:
@@ -87,87 +122,79 @@ def _run_job(job: SimJob) -> SimStats:
     )
 
 
-def _run_indexed(
-    item: tuple[int, SimJob],
-) -> tuple[int, SimStats, dict[str, int]]:
-    """Module-level worker wrapper (picklable under ``spawn``): carries
-    the job's position so unordered completion can be reassembled, plus
-    the result-cache counter delta this job produced in the worker (the
-    parent folds it into its own counters)."""
-    index, job = item
-    before = result_cache.stats.snapshot()
-    stats = _run_job(job)
-    return index, stats, result_cache.stats.since(before)
-
-
-def _start_method(requested: str | None) -> str | None:
-    """Resolve the pool start method: prefer ``fork`` (workers inherit
-    warm caches), fall back to ``spawn``; ``None`` if neither exists."""
-    available = multiprocessing.get_all_start_methods()
-    if requested is not None:
-        return requested if requested in available else None
-    for method in ("fork", "spawn"):
-        if method in available:
-            return method
-    return None
-
-
 def run_batch(
     jobs: list[SimJob],
     processes: int | None = None,
     start_method: str | None = None,
-    chunksize: int | None = None,
+    config: SupervisorConfig | None = None,
+    journal: SweepJournal | None = None,
+    completed: dict[str, SimStats] | None = None,
 ) -> list[SimStats]:
     """Run *jobs*, in parallel where the platform allows.
 
     *processes* defaults to the CPU count (capped by the job count);
     pass 1 to force serial execution.  *start_method* overrides the
     fork-preferred default (tests force ``spawn``); serial execution is
-    the fallback when no start method is available.  Results are
-    returned in job order.
+    the fallback when no start method is available.  *config* sets the
+    supervision policy (timeouts, retries, backoff); *journal* records
+    completions for resume and *completed* serves previously journalled
+    results.  Results are returned in job order; lost or permanently
+    failed jobs raise :class:`BatchError`.
     """
     if not jobs:
         return []
-    if processes is None:
-        processes = min(len(jobs), os.cpu_count() or 1)
-    method = _start_method(start_method)
-    if processes <= 1 or method is None:
-        return [_run_job(job) for job in jobs]
-    if chunksize is None:
-        # A few chunks per worker balances scheduling against IPC cost.
-        chunksize = max(1, len(jobs) // (processes * 4))
-    context = multiprocessing.get_context(method)
-    results: list[SimStats | None] = [None] * len(jobs)
-    with context.Pool(processes) as pool:
-        for index, stats, cache_delta in pool.imap_unordered(
-            _run_indexed, enumerate(jobs), chunksize=chunksize
-        ):
-            results[index] = stats
-            # Fold the worker's cache activity into this process's
-            # counters so batch totals read like serial totals.
-            result_cache.stats.add(cache_delta)
-    return results  # type: ignore[return-value]  # every index was filled
+    return run_supervised(
+        jobs,
+        _run_job,
+        processes=processes,
+        requested_start_method=start_method,
+        config=config,
+        journal=journal,
+        completed=completed,
+    ).results
 
 
 def run_batch_report(
     jobs: list[SimJob],
     processes: int | None = None,
     start_method: str | None = None,
+    config: SupervisorConfig | None = None,
+    journal: SweepJournal | None = None,
+    resume: bool = False,
 ) -> BatchReport:
-    """:func:`run_batch` plus wall-clock, throughput and result-cache
-    accounting (feeds the ``BENCH_sim_throughput.json`` perf record and
-    the ``sweep`` summary/manifest)."""
+    """:func:`run_batch` plus wall-clock, throughput, result-cache and
+    per-job outcome accounting (feeds the ``BENCH_sim_throughput.json``
+    perf record and the ``sweep`` summary/manifest).
+
+    With *journal* set, completions are recorded as they happen; with
+    *resume* additionally true, jobs already in the journal are served
+    from it (status ``skipped``) instead of re-running.
+    """
     if processes is None:
         processes = min(len(jobs), os.cpu_count() or 1) if jobs else 1
+    completed = journal.load_completed() if (journal and resume) else None
     cache_before = result_cache.stats.snapshot()
     start = time.perf_counter()
-    results = run_batch(jobs, processes=processes, start_method=start_method)
+    if not jobs:
+        run = None
+    else:
+        run = run_supervised(
+            jobs,
+            _run_job,
+            processes=processes,
+            requested_start_method=start_method,
+            config=config,
+            journal=journal,
+            completed=completed,
+        )
     wall = time.perf_counter() - start
     return BatchReport(
-        results=results,
+        results=run.results if run else [],
         wall_seconds=wall,
         processes=max(1, processes),
         cache_stats=result_cache.stats.since(cache_before),
+        outcomes=run.outcomes if run else [],
+        degraded_serial=run.degraded_serial if run else False,
     )
 
 

@@ -20,7 +20,16 @@ simulator source is unchanged.  This module provides that memo on disk:
 * Loads are corruption-tolerant: a truncated, unreadable or
   key-colliding file is deleted and treated as a miss.
 * Stores are atomic (write to a temp file, then ``os.replace``), so a
-  killed process never leaves a half-written entry behind.
+  killed process never leaves a half-written entry behind — concurrent
+  sweeps sharing a cache directory can never observe a torn entry.
+* A store that fails with ``ENOSPC``/``EACCES``/``EROFS`` (full or
+  unwritable filesystem) logs one warning and degrades the cache to
+  *off* for the rest of the process (``auto_disabled`` in
+  :class:`ResultCacheStats`) instead of paying a doomed write per job.
+* The deterministic fault harness (:mod:`repro.faults`) can corrupt
+  loaded entries (site ``cache.load``, kind ``corrupt``) or fail stores
+  (site ``cache.store``, kind ``oserror``) to prove both recovery
+  paths; with ``REPRO_FAULTS`` unset neither hook does any work.
 * Every load/store is counted (:class:`ResultCacheStats`), so
   warm-vs-cold behaviour is observable — the counters surface in the
   ``sweep`` summary and in telemetry run manifests
@@ -31,13 +40,17 @@ See ``docs/performance.md`` for the key/versioning scheme.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import os
 import pickle
+import sys
 import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any
+
+from repro import faults
 
 #: Bump when the on-disk layout or pickle schema changes.
 FORMAT_VERSION = 1
@@ -52,7 +65,9 @@ class ResultCacheStats:
     ``corrupt_dropped`` counts entries deleted because they failed to
     load (truncated pickle, digest collision) — a subset of ``misses``.
     ``store_errors`` counts best-effort stores swallowed by an ``OSError``
-    (read-only or full filesystem).
+    (read-only or full filesystem); ``auto_disabled`` counts the (at
+    most one per process) events where such an error switched the cache
+    off for the remainder of the process.
     """
 
     hits: int = 0
@@ -61,6 +76,7 @@ class ResultCacheStats:
     store_errors: int = 0
     corrupt_dropped: int = 0
     cleared: int = 0
+    auto_disabled: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
@@ -92,9 +108,38 @@ def reset_stats() -> None:
     stats = ResultCacheStats()
 
 
+#: Errnos that mean "this filesystem will keep rejecting writes" — one
+#: of them flips the cache off for the rest of the process.
+_FATAL_STORE_ERRNOS = (errno.ENOSPC, errno.EACCES, errno.EROFS)
+
+_runtime_disabled = False
+
+
 def cache_enabled() -> bool:
-    """False when the user disabled the cache via ``REPRO_CACHE=0``."""
-    return os.environ.get("REPRO_CACHE", "1") != "0"
+    """False when the user disabled the cache via ``REPRO_CACHE=0`` or a
+    full/unwritable cache filesystem disabled it for this process."""
+    return not _runtime_disabled and os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def _disable_for_process(exc: OSError) -> None:
+    """Degrade to cache-off after a fatal store error (logged once)."""
+    global _runtime_disabled
+    if _runtime_disabled:
+        return
+    _runtime_disabled = True
+    stats.auto_disabled += 1
+    print(
+        f"repro: result cache disabled for this process after "
+        f"{errno.errorcode.get(exc.errno, exc.errno)} writing "
+        f"{cache_dir()} ({exc})",
+        file=sys.stderr,
+    )
+
+
+def reset_runtime_disable() -> None:
+    """Re-arm a cache auto-disabled by a fatal store error (tests)."""
+    global _runtime_disabled
+    _runtime_disabled = False
 
 
 def cache_dir() -> Path:
@@ -170,7 +215,11 @@ def load(kind: str, key: tuple) -> Any | None:
     path = _entry_path(kind, key)
     try:
         with path.open("rb") as handle:
-            payload = pickle.load(handle)
+            data = handle.read()
+        if faults.decide("cache.load") == "corrupt":
+            # Chaos harness: pretend the entry came back damaged.
+            data = b"\xff" * min(len(data), 16) + data[16:]
+        payload = pickle.loads(data)
         if payload["key"] != (kind, key):
             raise ValueError("cache key mismatch")
         stats.hits += 1
@@ -195,6 +244,8 @@ def store(kind: str, key: tuple, value: Any) -> None:
         return
     path = _entry_path(kind, key)
     try:
+        if faults.decide("cache.store") == "oserror":
+            raise OSError(errno.ENOSPC, "injected ENOSPC")
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem, suffix=".tmp"
@@ -214,9 +265,13 @@ def store(kind: str, key: tuple, value: Any) -> None:
             except OSError:
                 pass
             raise
-    except OSError:
-        # A read-only or full filesystem only costs the memoisation.
+    except OSError as exc:
+        # A read-only or full filesystem only costs the memoisation —
+        # and, for persistent conditions, further attempts are pointless:
+        # degrade to cache-off for the rest of the process.
         stats.store_errors += 1
+        if exc.errno in _FATAL_STORE_ERRNOS:
+            _disable_for_process(exc)
 
 
 def clear() -> int:

@@ -41,6 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from time import perf_counter
 
+from repro import faults
 from repro.check.sanitizer import PipelineSanitizer, sanitize_enabled
 from repro.core.pipeline import ExecutionCore
 from repro.core.rob import EntryState
@@ -169,6 +170,9 @@ class Simulator:
         (same counted statistics, plus slot attribution in
         ``stats.extra``).
         """
+        # Chaos site (per run, never per cycle): a no-op unless the
+        # deterministic fault harness is armed via REPRO_FAULTS.
+        faults.maybe_fail("sim.run")
         if self.telemetry is not None:
             return self._run_instrumented()
         config = self.config

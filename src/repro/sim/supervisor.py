@@ -1,0 +1,681 @@
+"""Supervised parallel job execution: the resilient sweep engine.
+
+:mod:`repro.sim.batch` used to hand jobs to a bare
+``Pool.imap_unordered`` — one hung worker, one OOM kill or one Ctrl-C
+lost the whole sweep.  This module replaces the pool with a supervisor
+that owns one :class:`multiprocessing.Process` per worker slot and
+treats every job as a unit of recovery:
+
+* **Per-job wall-clock timeouts** — a worker stuck past
+  ``SupervisorConfig.timeout`` is terminated and its job requeued.
+* **Bounded retries with exponential backoff + jitter** — each failed
+  attempt (crash, timeout, exception) reschedules the job after
+  ``backoff_base * backoff_factor**(attempt-1)`` seconds (capped,
+  jittered from a seeded RNG) until ``max_attempts`` is exhausted.
+* **Dead-worker detection and requeue** — a worker that exits (injected
+  crash, OOM kill, segfault) is detected by the supervision pass, its
+  in-flight job requeued and the slot respawned.
+* **Degrade to serial** — after ``max_worker_failures`` worker deaths or
+  hangs, the supervisor stops trusting the pool, terminates it and runs
+  the remaining jobs in-process (still honouring the retry budget).
+* **Per-job audit** — every job resolves to a :class:`JobOutcome`
+  (``ok``/``retried``/``timeout``/``crashed``/``skipped``, attempt
+  count, per-attempt failure reasons, wall time) folded into
+  :class:`repro.sim.batch.BatchReport` and the telemetry manifest.
+* **Sweep journal** — completed jobs are appended (with a pickled,
+  digest-checked copy of the result) to ``journal.jsonl`` the moment
+  they finish, so ``repro sweep --resume DIR`` after any interruption
+  skips finished work and reproduces results **bit-identically**.
+* **Lost-job detection** — if any result slot is unfilled at the end
+  (the old ``imap_unordered`` silently returned ``None`` holes), a
+  :class:`BatchError` names the lost jobs instead of returning corrupt
+  results.
+
+Every recovery path is provable on demand with the deterministic fault
+harness (:mod:`repro.faults`, ``REPRO_FAULTS=...``): the worker wrapper
+fires the ``batch.worker`` site with the job index and attempt number,
+so an injected crash/hang/exception schedule is reproducible across
+processes.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import heapq
+import json
+import multiprocessing
+import os
+import pickle
+import random
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from queue import Empty
+from typing import Any, Callable
+
+from repro import faults
+from repro.sim import cache as result_cache
+
+#: Journal file name inside a sweep/journal directory.
+JOURNAL_NAME = "journal.jsonl"
+#: Bump on incompatible journal-line layout changes.
+JOURNAL_VERSION = 1
+
+#: Final :class:`JobOutcome` statuses that mean "no result produced".
+FAILED_STATUSES = ("timeout", "crashed")
+
+
+class BatchError(RuntimeError):
+    """A batch could not produce a result for every job.
+
+    Carries the full per-job audit trail in :attr:`outcomes` so callers
+    (and CI logs) can see exactly which jobs were lost and why.
+    """
+
+    def __init__(self, message: str, outcomes: list["JobOutcome"] | None = None):
+        super().__init__(message)
+        self.outcomes = outcomes or []
+
+
+@dataclass(frozen=True, slots=True)
+class SupervisorConfig:
+    """Retry/timeout/backoff policy for a supervised batch."""
+
+    #: Per-job wall-clock timeout in seconds (``None`` = no timeout).
+    #: Unenforceable in serial execution (nothing can preempt the job).
+    timeout: float | None = None
+    #: Total tries per job, first attempt included.
+    max_attempts: int = 3
+    #: Backoff before retry *k* (1-based): ``base * factor**(k-1)``,
+    #: capped at ``backoff_max``, stretched by up to ``backoff_jitter``.
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    backoff_jitter: float = 0.25
+    #: Seed of the jitter RNG — a fixed seed gives a reproducible delay
+    #: schedule (the chaos tests rely on it staying small).
+    backoff_seed: int = 0
+    #: Worker deaths/hangs tolerated before degrading to serial.
+    max_worker_failures: int = 8
+    #: Parent supervision poll period in seconds.
+    poll_interval: float = 0.05
+
+    def backoff_seconds(self, attempt: int, rng: random.Random) -> float:
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        return base * (1.0 + self.backoff_jitter * rng.random())
+
+
+DEFAULT_CONFIG = SupervisorConfig()
+
+
+@dataclass(slots=True)
+class JobOutcome:
+    """The audit record of one job's journey through the supervisor."""
+
+    index: int
+    job: dict
+    #: ``ok`` (first try) | ``retried`` (ok after failures) | ``timeout``
+    #: | ``crashed`` (worker death or exhausted exceptions) | ``skipped``
+    #: (served by the resume journal).
+    status: str = "pending"
+    attempts: int = 0
+    #: Job wall-clock across attempts (worker-measured; terminated
+    #: attempts contribute their timeout).
+    wall_seconds: float = 0.0
+    #: One line per failed attempt: ``"attempt N: reason"``.
+    failures: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "job": self.job,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "failures": list(self.failures),
+        }
+
+
+def outcome_counts(outcomes: list[JobOutcome]) -> dict[str, int]:
+    """Status histogram of *outcomes* (for summaries and manifests)."""
+    counts: dict[str, int] = {}
+    for outcome in outcomes:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+    return counts
+
+
+@dataclass(slots=True)
+class SupervisedRun:
+    """What :func:`run_supervised` hands back."""
+
+    results: list[Any]
+    outcomes: list[JobOutcome]
+    #: True when the supervisor stopped trusting worker processes and
+    #: finished the remaining jobs in-process.
+    degraded_serial: bool = False
+    #: Worker deaths + hang terminations observed.
+    worker_failures: int = 0
+
+
+# -- sweep journal ------------------------------------------------------------
+
+
+class SweepJournal:
+    """Append-only JSONL record of completed jobs, enabling resume.
+
+    Line 1 is a header binding the journal to the simulator sources and
+    the check-relevant environment knobs (the same salts as the
+    persistent result cache); a journal written by different code or
+    under different ``REPRO_SANITIZE``/``REPRO_TELEMETRY`` settings is
+    *stale* and is truncated on the next write instead of serving wrong
+    results.  Every result line carries the job key, a digest-checked
+    pickle of the result, and the job's :class:`JobOutcome` — each line
+    is flushed as it is written, so an interrupt loses at most the job
+    in flight.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / JOURNAL_NAME
+        self._handle = None
+        self._stale = False
+
+    @staticmethod
+    def job_key(job: Any) -> str:
+        """Canonical string key of a (dataclass) job description."""
+        record = asdict(job) if not isinstance(job, dict) else job
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+    def _header(self) -> dict:
+        return {
+            "type": "header",
+            "journal_version": JOURNAL_VERSION,
+            "source_version": result_cache.source_version(),
+            "check_env": list(result_cache._check_env_fingerprint()),
+        }
+
+    def load_completed(self) -> dict[str, Any]:
+        """Results of previously journalled jobs, keyed by job key.
+
+        Corrupt lines (e.g. the torn final line of a killed process) are
+        skipped; a header mismatch marks the whole journal stale and
+        returns nothing.
+        """
+        if not self.path.is_file():
+            return {}
+        expected = self._header()
+        header_ok = False
+        entries: dict[str, Any] = {}
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn line from an interrupted writer
+            if record.get("type") == "header":
+                header_ok = all(
+                    record.get(field) == expected[field]
+                    for field in (
+                        "journal_version",
+                        "source_version",
+                        "check_env",
+                    )
+                )
+                if not header_ok:
+                    self._stale = True
+                    return {}
+                continue
+            if not header_ok or record.get("type") != "result":
+                continue
+            try:
+                blob = base64.b64decode(record["stats"])
+                if hashlib.sha256(blob).hexdigest()[:16] != record["digest"]:
+                    continue
+                entries[record["key"]] = pickle.loads(blob)
+            except Exception:
+                continue  # damaged entry: recompute rather than trust it
+        if not header_ok:
+            self._stale = True
+            return {}
+        return entries
+
+    def append(self, job: Any, result: Any, outcome: JobOutcome) -> None:
+        """Journal one completed job (flushed immediately)."""
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fresh = self._stale or not self.path.is_file() or (
+                self.path.stat().st_size == 0
+            )
+            self._handle = self.path.open("w" if self._stale else "a")
+            self._stale = False
+            if fresh:
+                self._handle.write(json.dumps(self._header()) + "\n")
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        line = {
+            "type": "result",
+            "key": self.job_key(job),
+            "digest": hashlib.sha256(blob).hexdigest()[:16],
+            "stats": base64.b64encode(blob).decode("ascii"),
+            "outcome": outcome.as_dict(),
+        }
+        self._handle.write(json.dumps(line) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+# -- worker side --------------------------------------------------------------
+
+
+def _worker_main(worker_id: int, run_job, task_queue, result_queue) -> None:
+    """Worker loop: pull ``(index, attempt, job)``, push an ``ok`` or
+    ``error`` message.  Module-level and closure-free so it pickles
+    under ``spawn``.  Exceptions are *reported*, not fatal — only a real
+    crash (or an injected one) kills the process, and the supervisor
+    notices that by itself."""
+    faults.mark_worker()
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, attempt, job = item
+        start = time.perf_counter()
+        before = result_cache.stats.snapshot()
+        try:
+            faults.maybe_fail("batch.worker", token=index, attempt=attempt)
+            result = run_job(job)
+        except KeyboardInterrupt:  # pragma: no cover - parent interrupt
+            return
+        except BaseException as exc:
+            result_queue.put((
+                "error",
+                worker_id,
+                index,
+                attempt,
+                f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start,
+            ))
+        else:
+            result_queue.put((
+                "ok",
+                worker_id,
+                index,
+                attempt,
+                result,
+                result_cache.stats.since(before),
+                time.perf_counter() - start,
+            ))
+
+
+# -- parent side --------------------------------------------------------------
+
+
+def start_method(requested: str | None) -> str | None:
+    """Resolve the worker start method: prefer ``fork`` (workers inherit
+    warm caches), fall back to ``spawn``; ``None`` if neither exists."""
+    available = multiprocessing.get_all_start_methods()
+    if requested is not None:
+        return requested if requested in available else None
+    for method in ("fork", "spawn"):
+        if method in available:
+            return method
+    return None
+
+
+@dataclass(slots=True)
+class _Worker:
+    id: int
+    process: Any
+    tasks: Any
+    #: ``(index, attempt)`` in flight, or ``None`` when idle.
+    busy: tuple[int, int] | None = None
+    started: float = 0.0
+
+
+class _Supervisor:
+    """One supervised batch execution (single use)."""
+
+    def __init__(
+        self,
+        jobs: list[Any],
+        run_job: Callable[[Any], Any],
+        config: SupervisorConfig,
+        journal: SweepJournal | None,
+        on_complete: Callable[[JobOutcome], None] | None,
+    ) -> None:
+        self.jobs = jobs
+        self.run_job = run_job
+        self.config = config
+        self.journal = journal
+        self.on_complete = on_complete
+        self.results: list[Any] = [_UNSET] * len(jobs)
+        self.outcomes = [
+            JobOutcome(index=i, job=asdict(job)) for i, job in enumerate(jobs)
+        ]
+        self.unresolved: set[int] = set()
+        self.failed: list[int] = []
+        self.pending: list[tuple[float, int, int, int]] = []
+        self._seq = 0
+        self._rng = random.Random(config.backoff_seed)
+        self.worker_failures = 0
+        self.degraded_serial = False
+
+    # resolution bookkeeping ------------------------------------------------
+
+    def _resolve_ok(self, index: int, attempt: int, result: Any) -> None:
+        outcome = self.outcomes[index]
+        self.results[index] = result
+        outcome.attempts = max(outcome.attempts, attempt)
+        outcome.status = "ok" if not outcome.failures else "retried"
+        self.unresolved.discard(index)
+        if self.journal is not None:
+            self.journal.append(self.jobs[index], result, outcome)
+        if self.on_complete is not None:
+            self.on_complete(outcome)
+
+    def _attempt_failed(
+        self, index: int, attempt: int, reason: str, kind: str
+    ) -> bool:
+        """Record a failed attempt; returns True when a retry is owed."""
+        outcome = self.outcomes[index]
+        outcome.attempts = max(outcome.attempts, attempt)
+        outcome.failures.append(f"attempt {attempt}: {reason}")
+        if attempt >= self.config.max_attempts:
+            outcome.status = kind
+            self.unresolved.discard(index)
+            self.failed.append(index)
+            if self.on_complete is not None:
+                self.on_complete(outcome)
+            return False
+        return True
+
+    def _schedule(self, index: int, attempt: int, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(
+            self.pending, (time.monotonic() + delay, self._seq, index, attempt)
+        )
+
+    def _requeue(self, index: int, attempt: int, reason: str, kind: str) -> None:
+        if self._attempt_failed(index, attempt, reason, kind):
+            delay = self.config.backoff_seconds(attempt, self._rng)
+            self._schedule(index, attempt + 1, delay)
+
+    # serial execution ------------------------------------------------------
+
+    def run_serial(self, work: list[tuple[int, int]]) -> None:
+        """Run ``(index, first_attempt)`` pairs in-process with retries.
+
+        Outside a supervised worker the fault harness degrades ``crash``
+        and ``hang`` to exceptions, so injection cannot kill or freeze
+        the parent; timeouts are unenforceable here (documented).
+        """
+        for index, first_attempt in work:
+            attempt = first_attempt
+            while index in self.unresolved:
+                start = time.perf_counter()
+                try:
+                    faults.maybe_fail(
+                        "batch.worker", token=index, attempt=attempt
+                    )
+                    result = self.run_job(self.jobs[index])
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as exc:
+                    self.outcomes[index].wall_seconds += (
+                        time.perf_counter() - start
+                    )
+                    retry = self._attempt_failed(
+                        index,
+                        attempt,
+                        f"{type(exc).__name__}: {exc}",
+                        "crashed",
+                    )
+                    if not retry:
+                        break
+                    time.sleep(self.config.backoff_seconds(attempt, self._rng))
+                    attempt += 1
+                else:
+                    self.outcomes[index].wall_seconds += (
+                        time.perf_counter() - start
+                    )
+                    self._resolve_ok(index, attempt, result)
+
+    # parallel execution ----------------------------------------------------
+
+    def run_parallel(self, processes: int, method: str) -> None:
+        context = multiprocessing.get_context(method)
+        result_queue = context.Queue()
+        self._next_worker_id = 0
+        workers: list[_Worker] = []
+        by_id: dict[int, _Worker] = {}
+
+        def spawn() -> _Worker:
+            self._next_worker_id += 1
+            tasks = context.SimpleQueue()
+            process = context.Process(
+                target=_worker_main,
+                args=(self._next_worker_id, self.run_job, tasks, result_queue),
+                daemon=True,
+            )
+            process.start()
+            worker = _Worker(self._next_worker_id, process, tasks)
+            by_id[worker.id] = worker
+            return worker
+
+        def kill(worker: _Worker) -> None:
+            worker.process.terminate()
+            worker.process.join(1.0)
+            if worker.process.is_alive():  # pragma: no cover - stubborn child
+                worker.process.kill()
+                worker.process.join(1.0)
+            by_id.pop(worker.id, None)
+
+        def replace(worker: _Worker) -> None:
+            by_id.pop(worker.id, None)
+            workers[workers.index(worker)] = spawn()
+
+        def handle(message: tuple) -> None:
+            kind, worker_id, index, attempt = message[:4]
+            worker = by_id.get(worker_id)
+            if worker is not None and worker.busy == (index, attempt):
+                worker.busy = None
+            if index not in self.unresolved:
+                return  # stale duplicate from a reclaimed worker
+            if kind == "ok":
+                result, cache_delta, seconds = message[4:]
+                self.outcomes[index].wall_seconds += seconds
+                # Fold the worker's cache activity into this process's
+                # counters so batch totals read like serial totals.
+                result_cache.stats.add(cache_delta)
+                self._resolve_ok(index, attempt, result)
+            else:
+                reason, seconds = message[4:]
+                self.outcomes[index].wall_seconds += seconds
+                self._requeue(index, attempt, reason, "crashed")
+
+        for index in sorted(self.unresolved):
+            self._schedule(index, 1)
+        workers.extend(spawn() for _ in range(processes))
+
+        try:
+            while self.unresolved:
+                now = time.monotonic()
+                for worker in workers:
+                    if worker.busy is not None:
+                        continue
+                    while self.pending and self.pending[0][2] not in self.unresolved:
+                        heapq.heappop(self.pending)
+                    if not self.pending or self.pending[0][0] > now:
+                        break  # heap is time-ordered: nothing ready yet
+                    _, _, index, attempt = heapq.heappop(self.pending)
+                    worker.busy = (index, attempt)
+                    worker.started = now
+                    worker.tasks.put((index, attempt, self.jobs[index]))
+
+                try:
+                    message = result_queue.get(timeout=self.config.poll_interval)
+                except Empty:
+                    message = None
+                while message is not None:
+                    handle(message)
+                    try:
+                        message = result_queue.get_nowait()
+                    except Empty:
+                        message = None
+
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.busy is None:
+                        if not worker.process.is_alive():
+                            # Idle worker died (start-up crash): respawn.
+                            self.worker_failures += 1
+                            replace(worker)
+                        continue
+                    index, attempt = worker.busy
+                    timeout = self.config.timeout
+                    if not worker.process.is_alive():
+                        self.worker_failures += 1
+                        exit_code = worker.process.exitcode
+                        kill(worker)
+                        if index in self.unresolved:
+                            self._requeue(
+                                index,
+                                attempt,
+                                f"worker died (exit code {exit_code})",
+                                "crashed",
+                            )
+                        replace(worker)
+                    elif timeout is not None and now - worker.started > timeout:
+                        self.worker_failures += 1
+                        kill(worker)
+                        if index in self.unresolved:
+                            self.outcomes[index].wall_seconds += timeout
+                            self._requeue(
+                                index,
+                                attempt,
+                                f"timed out after {timeout:g}s",
+                                "timeout",
+                            )
+                        replace(worker)
+
+                if self.worker_failures > self.config.max_worker_failures:
+                    # The pool is hostile territory: reclaim every
+                    # in-flight job and finish in-process.
+                    self.degraded_serial = True
+                    inflight = {
+                        worker.busy[0]: worker.busy[1]
+                        for worker in workers
+                        if worker.busy is not None
+                    }
+                    for worker in workers:
+                        kill(worker)
+                    workers.clear()
+                    queued = {}
+                    for _, _, index, attempt in self.pending:
+                        if index in self.unresolved:
+                            queued.setdefault(index, attempt)
+                    work = [
+                        (index, queued.get(index, inflight.get(index, 1)))
+                        for index in sorted(self.unresolved)
+                    ]
+                    self.run_serial(work)
+                    return
+        finally:
+            for worker in workers:
+                if worker.process.is_alive():
+                    try:
+                        worker.tasks.put(None)
+                    except Exception:  # pragma: no cover - broken pipe
+                        pass
+            deadline = time.monotonic() + 2.0
+            for worker in workers:
+                worker.process.join(max(0.0, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    kill(worker)
+
+
+_UNSET = object()
+
+
+def run_supervised(
+    jobs: list[Any],
+    run_job: Callable[[Any], Any],
+    processes: int | None = None,
+    requested_start_method: str | None = None,
+    config: SupervisorConfig | None = None,
+    journal: SweepJournal | None = None,
+    completed: dict[str, Any] | None = None,
+    on_complete: Callable[[JobOutcome], None] | None = None,
+) -> SupervisedRun:
+    """Run *jobs* through *run_job* under supervision.
+
+    *completed* maps :meth:`SweepJournal.job_key` keys to results of a
+    previous run (journal resume): matching jobs are served as-is with
+    status ``skipped``.  Results are returned in job order; any job that
+    exhausts its retry budget — or would silently be lost — raises
+    :class:`BatchError` naming it.
+    """
+    config = config or DEFAULT_CONFIG
+    if config.max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    supervisor = _Supervisor(jobs, run_job, config, journal, on_complete)
+    completed = completed or {}
+    for index, job in enumerate(jobs):
+        previous = completed.get(SweepJournal.job_key(job), _UNSET)
+        if previous is not _UNSET:
+            supervisor.results[index] = previous
+            outcome = supervisor.outcomes[index]
+            outcome.status = "skipped"
+            if on_complete is not None:
+                on_complete(outcome)
+        else:
+            supervisor.unresolved.add(index)
+
+    if supervisor.unresolved:
+        if processes is None:
+            processes = min(len(supervisor.unresolved), os.cpu_count() or 1)
+        method = start_method(requested_start_method)
+        if processes <= 1 or method is None:
+            supervisor.run_serial(
+                [(index, 1) for index in sorted(supervisor.unresolved)]
+            )
+        else:
+            supervisor.run_parallel(
+                min(processes, len(supervisor.unresolved)), method
+            )
+
+    if supervisor.failed:
+        lines = []
+        for index in sorted(supervisor.failed):
+            outcome = supervisor.outcomes[index]
+            last = outcome.failures[-1] if outcome.failures else "unknown"
+            lines.append(
+                f"  job {index} {SweepJournal.job_key(jobs[index])}: "
+                f"{outcome.status} after {outcome.attempts} attempt(s) ({last})"
+            )
+        raise BatchError(
+            f"{len(supervisor.failed)} job(s) permanently failed:\n"
+            + "\n".join(lines),
+            outcomes=supervisor.outcomes,
+        )
+    lost = [i for i, value in enumerate(supervisor.results) if value is _UNSET]
+    if lost:  # pragma: no cover - safety net, should be unreachable
+        keys = ", ".join(SweepJournal.job_key(jobs[i]) for i in lost)
+        raise BatchError(
+            f"{len(lost)} job(s) lost without a recorded outcome: {keys}",
+            outcomes=supervisor.outcomes,
+        )
+    return SupervisedRun(
+        results=list(supervisor.results),
+        outcomes=supervisor.outcomes,
+        degraded_serial=supervisor.degraded_serial,
+        worker_failures=supervisor.worker_failures,
+    )

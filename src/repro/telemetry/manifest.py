@@ -54,6 +54,7 @@ def build_manifest(
     timings: dict[str, float] | None = None,
     results: dict | list | None = None,
     cache_stats: dict[str, int] | None = None,
+    outcomes: list[dict] | None = None,
 ) -> dict:
     """Assemble the manifest document (pure data, JSON-serialisable)."""
     # Imported lazily: the cache module lives in repro.sim, which in
@@ -82,6 +83,9 @@ def build_manifest(
             for name, seconds in (timings or {}).items()
         },
         "result_cache": cache_stats or {},
+        #: Per-job supervision audit from the sweep engine
+        #: (ok/retried/timeout/crashed/skipped, attempts, failures).
+        "job_outcomes": outcomes or [],
         "results": results if results is not None else {},
     }
 

@@ -1,0 +1,479 @@
+"""Chaos tests for the resilient sweep engine.
+
+Covers the deterministic fault harness (``repro.faults``), the
+supervised batch executor (``repro.sim.supervisor``) — crash, hang,
+transient-exception and serial-degrade recovery with bit-identical
+results — the sweep journal and ``--resume``, and the hardened result
+cache (injected corruption, injected ``ENOSPC`` degrade-to-off).
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro import faults
+from repro.sim import cache
+from repro.sim.batch import (
+    BatchError,
+    SimJob,
+    SupervisorConfig,
+    SweepJournal,
+    _run_job,
+    run_batch,
+    run_batch_report,
+    suite_jobs,
+)
+from repro.sim.supervisor import run_supervised
+
+#: Fast supervision policy so retries/backoff cost milliseconds.
+FAST = SupervisorConfig(
+    max_attempts=3,
+    backoff_base=0.01,
+    backoff_max=0.05,
+    backoff_jitter=0.1,
+    poll_interval=0.02,
+)
+
+FORK_ONLY = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def make_jobs(schemes=("sequential", "collapsing_buffer"), length=3000):
+    return suite_jobs(
+        ("ora",), ("PI4",), tuple(schemes), length=length, warmup=800
+    )
+
+
+def disarm() -> None:
+    os.environ.pop("REPRO_FAULTS", None)
+    faults.reload()
+
+
+def arm(spec: str) -> None:
+    os.environ["REPRO_FAULTS"] = spec
+    faults.reload()
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """Every test leaves the harness off and the cache re-armed, however
+    it exits (monkeypatch teardown ordering is not enough because the
+    parsed plan is memoised per process)."""
+    yield
+    os.environ.pop("REPRO_FAULTS", None)
+    faults.reload()
+    cache.reset_runtime_disable()
+    cache.reset_stats()
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    return tmp_path
+
+
+# -- fault spec and schedule --------------------------------------------------
+
+
+class TestFaultSpec:
+    def test_parse_full_grammar(self):
+        plan = faults.parse_spec(
+            "seed=9; batch.worker=crash:p=0.5:n=3:a=1; cache.load=corrupt; "
+            "sim.run=hang:s=2.5"
+        )
+        assert plan is not None and plan.seed == 9
+        rule = plan.rules["batch.worker"]
+        assert (rule.kind, rule.probability, rule.max_injections, rule.max_attempt) == (
+            "crash",
+            0.5,
+            3,
+            1,
+        )
+        assert plan.rules["cache.load"].probability == 1.0
+        assert plan.rules["sim.run"].seconds == 2.5
+
+    def test_empty_spec_is_off(self):
+        assert faults.parse_spec("") is None
+        assert faults.parse_spec(" ; ") is None
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "batch.worker",  # no '='
+            "batch.worker=explode",  # unknown kind
+            "batch.worker=exc:p=2.0",  # probability out of range
+            "batch.worker=exc:q=1",  # unknown parameter
+            "batch.worker=exc:p",  # parameter without value
+            "seed=xyz",  # bad seed
+            "a=exc;a=exc",  # duplicate site
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(faults.FaultSpecError):
+            faults.parse_spec(spec)
+
+    def test_off_by_default(self):
+        os.environ.pop("REPRO_FAULTS", None)
+        faults.reload()
+        assert faults.plan() is None
+        faults.maybe_fail("batch.worker")  # no-op
+        assert faults.decide("cache.load") is None
+
+
+class TestFaultDeterminism:
+    def test_untokened_schedule_reproducible(self):
+        spec = "seed=11;cache.load=corrupt:p=0.5"
+        first = faults.parse_spec(spec).schedule("cache.load", 64)
+        second = faults.parse_spec(spec).schedule("cache.load", 64)
+        assert first == second
+        assert any(first) and not all(first)  # p=0.5 mixes both
+        other_seed = faults.parse_spec("seed=12;cache.load=corrupt:p=0.5")
+        assert other_seed.schedule("cache.load", 64) != first
+
+    def test_schedule_matches_live_decisions(self):
+        spec = "seed=11;cache.load=corrupt:p=0.5"
+        plan = faults.parse_spec(spec)
+        live = [plan.decide("cache.load") is not None for _ in range(64)]
+        assert live == faults.parse_spec(spec).schedule("cache.load", 64)
+
+    def test_tokened_decisions_cross_process_stable(self):
+        spec = "seed=4;batch.worker=crash:p=0.5"
+        reference = [
+            faults.parse_spec(spec).decide("batch.worker", token=i) is not None
+            for i in range(32)
+        ]
+        # A "different process" is just a fresh plan: decisions must match.
+        plan = faults.parse_spec(spec)
+        assert [
+            plan.decide("batch.worker", token=i) is not None for i in range(32)
+        ] == reference
+        assert any(reference) and not all(reference)
+
+    def test_attempt_gate_and_injection_cap(self):
+        plan = faults.parse_spec("batch.worker=exc:a=1")
+        assert plan.decide("batch.worker", token=0, attempt=1) is not None
+        assert plan.decide("batch.worker", token=0, attempt=2) is None
+        capped = faults.parse_spec("sim.run=exc:n=2")
+        fired = sum(capped.decide("sim.run") is not None for _ in range(10))
+        assert fired == 2
+
+
+# -- supervised execution under chaos ----------------------------------------
+
+
+class TestSupervisorChaos:
+    @FORK_ONLY
+    def test_worker_crashes_are_retried_bit_identically(self):
+        jobs = make_jobs()
+        baseline = run_batch(jobs, processes=1)
+        arm("seed=7;batch.worker=crash:a=1")
+        report = run_batch_report(jobs, processes=2, config=FAST)
+        assert report.results == baseline  # SimStats dataclass equality
+        assert all(o.status == "retried" for o in report.outcomes)
+        assert all(o.attempts == 2 for o in report.outcomes)
+        failures = [line for o in report.outcomes for line in o.failures]
+        assert any("worker died" in line for line in failures)
+
+    @FORK_ONLY
+    def test_hung_worker_times_out_and_recovers(self):
+        jobs = make_jobs(schemes=("sequential",))
+        baseline = run_batch(jobs, processes=1)
+        arm("seed=7;batch.worker=hang:a=1:s=60")
+        config = SupervisorConfig(
+            timeout=1.0,
+            max_attempts=3,
+            backoff_base=0.01,
+            backoff_max=0.05,
+            poll_interval=0.02,
+        )
+        report = run_batch_report(jobs, processes=2, config=config)
+        assert report.results == baseline
+        (outcome,) = report.outcomes
+        assert outcome.status == "retried"
+        assert any("timed out after 1s" in line for line in outcome.failures)
+
+    def test_transient_exception_retried_serially(self):
+        # Unique trace length: ``sim_stats`` is lru-cached per process,
+        # and the ``sim.stats`` site only fires when the body runs.
+        jobs = make_jobs(schemes=("sequential",), length=3100)
+        arm("seed=7;sim.stats=exc:n=1")
+        report = run_batch_report(jobs, processes=1, config=FAST)
+        disarm()
+        assert report.results == run_batch(jobs, processes=1)
+        (outcome,) = report.outcomes
+        assert outcome.status == "retried"
+        assert "FaultInjected" in outcome.failures[0]
+
+    def test_exhausted_retries_raise_batch_error_naming_jobs(self):
+        jobs = make_jobs(schemes=("sequential",))
+        arm("batch.worker=exc")  # every attempt of every job fails
+        with pytest.raises(BatchError) as excinfo:
+            run_batch(jobs, processes=1, config=FAST)
+        assert "ora" in str(excinfo.value) and "sequential" in str(excinfo.value)
+        assert [o.status for o in excinfo.value.outcomes] == ["crashed"]
+        assert excinfo.value.outcomes[0].attempts == FAST.max_attempts
+
+    @FORK_ONLY
+    def test_degrades_to_serial_after_repeated_worker_failures(self):
+        jobs = make_jobs()
+        baseline = run_batch(jobs, processes=1)
+        arm("seed=7;batch.worker=crash:a=1")
+        config = SupervisorConfig(
+            max_attempts=3,
+            backoff_base=0.01,
+            backoff_max=0.05,
+            poll_interval=0.02,
+            max_worker_failures=0,  # first crash abandons the pool
+        )
+        report = run_batch_report(jobs, processes=2, config=config)
+        assert report.degraded_serial
+        assert report.results == baseline
+        assert all(o.status in ("ok", "retried") for o in report.outcomes)
+
+    @FORK_ONLY
+    def test_mixed_chaos_sweep_is_bit_identical(self, cache_env):
+        # The acceptance scenario: worker crashes + transient simulator
+        # exceptions + corrupt cache entries in one sweep, results still
+        # exact.  Unique trace length keeps the parent's lru memo cold,
+        # so the forked workers genuinely execute the faulted paths; the
+        # no-fault baseline runs afterwards (served via the disk cache
+        # the workers populated, proving that round trip too).
+        jobs = make_jobs(length=3300)
+        arm(
+            "seed=5;batch.worker=crash:p=0.5:a=1;sim.run=exc:p=0.3:n=2;"
+            "cache.load=corrupt:p=0.3:n=2"
+        )
+        config = SupervisorConfig(
+            timeout=20.0,
+            max_attempts=6,
+            backoff_base=0.01,
+            backoff_max=0.05,
+            poll_interval=0.02,
+        )
+        report = run_batch_report(jobs, processes=2, config=config)
+        disarm()
+        assert report.results == run_batch(jobs, processes=1)
+        assert all(o.status in ("ok", "retried") for o in report.outcomes)
+
+    def test_faults_off_results_unchanged(self):
+        # With the harness disarmed the engine must behave like the
+        # plain batch runner: identical results, all-ok outcomes.
+        jobs = make_jobs()
+        serial = run_batch(jobs, processes=1)
+        report = run_batch_report(jobs, processes=2)
+        assert report.results == serial
+        assert report.outcome_counts == {"ok": len(jobs)}
+
+    def test_empty_batch(self):
+        assert run_batch([]) == []
+        assert run_batch_report([]).outcomes == []
+
+
+# -- journal + resume ---------------------------------------------------------
+
+
+class TestJournalResume:
+    def test_journal_records_every_completion(self, cache_env, tmp_path):
+        jobs = make_jobs()
+        journal = SweepJournal(tmp_path / "sweep")
+        run_batch_report(jobs, processes=1, journal=journal)
+        journal.close()
+        lines = (tmp_path / "sweep" / "journal.jsonl").read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "header"
+        assert header["source_version"] == cache.source_version()
+        records = [json.loads(line) for line in lines[1:]]
+        assert len(records) == len(jobs)
+        assert {r["key"] for r in records} == {
+            SweepJournal.job_key(job) for job in jobs
+        }
+        assert all(r["outcome"]["status"] == "ok" for r in records)
+
+    def test_resume_skips_and_reproduces_bit_identically(self, cache_env, tmp_path):
+        jobs = make_jobs()
+        journal = SweepJournal(tmp_path / "sweep")
+        first = run_batch_report(jobs, processes=1, journal=journal)
+        journal.close()
+        resumed = run_batch_report(
+            jobs,
+            processes=1,
+            journal=SweepJournal(tmp_path / "sweep"),
+            resume=True,
+        )
+        assert resumed.results == first.results
+        assert resumed.outcome_counts == {"skipped": len(jobs)}
+
+    def test_partial_journal_resumes_only_missing_work(self, cache_env, tmp_path):
+        jobs = make_jobs() + suite_jobs(
+            ("li",), ("PI4",), ("sequential",), length=3000, warmup=800
+        )
+        uninterrupted = run_batch(jobs, processes=1)
+        # Simulate an interrupted sweep: only the first two jobs made it
+        # into the journal before the "crash".
+        journal = SweepJournal(tmp_path / "sweep")
+        run_batch_report(jobs[:2], processes=1, journal=journal)
+        journal.close()
+        resumed = run_batch_report(
+            jobs,
+            processes=1,
+            journal=SweepJournal(tmp_path / "sweep"),
+            resume=True,
+        )
+        assert resumed.results == uninterrupted
+        assert resumed.outcome_counts == {"skipped": 2, "ok": len(jobs) - 2}
+
+    def test_torn_and_foreign_lines_are_skipped(self, cache_env, tmp_path):
+        jobs = make_jobs(schemes=("sequential",))
+        journal = SweepJournal(tmp_path / "sweep")
+        run_batch_report(jobs, processes=1, journal=journal)
+        journal.close()
+        path = tmp_path / "sweep" / "journal.jsonl"
+        with path.open("a") as handle:
+            foreign = '{"type": "result", "key": "x", "digest": "0", "stats": "!"}'
+            handle.write(foreign + "\n")
+            handle.write('{"type": "result", "key"')  # torn final line
+        completed = SweepJournal(tmp_path / "sweep").load_completed()
+        assert set(completed) == {SweepJournal.job_key(jobs[0])}
+
+    def test_stale_journal_ignored_and_truncated(self, cache_env, tmp_path):
+        jobs = make_jobs(schemes=("sequential",))
+        journal = SweepJournal(tmp_path / "sweep")
+        run_batch_report(jobs, processes=1, journal=journal)
+        journal.close()
+        path = tmp_path / "sweep" / "journal.jsonl"
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["source_version"] = "someone-else's-code"
+        path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        stale = SweepJournal(tmp_path / "sweep")
+        assert stale.load_completed() == {}
+        # The next write starts the journal over under the real header.
+        report = run_batch_report(jobs, processes=1, journal=stale, resume=True)
+        stale.close()
+        assert report.outcome_counts == {"ok": 1}
+        fresh_header = json.loads(path.read_text().splitlines()[0])
+        assert fresh_header["source_version"] == cache.source_version()
+
+    def test_interrupt_flushes_journal_before_propagating(self, cache_env, tmp_path):
+        jobs = make_jobs()
+        journal = SweepJournal(tmp_path / "sweep")
+
+        def interrupt_after_first(outcome):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_supervised(
+                jobs,
+                _run_job,
+                processes=1,
+                config=FAST,
+                journal=journal,
+                on_complete=interrupt_after_first,
+            )
+        journal.close()
+        completed = SweepJournal(tmp_path / "sweep").load_completed()
+        assert len(completed) == 1  # the finished job survived the Ctrl-C
+
+
+# -- hardened result cache ----------------------------------------------------
+
+
+class TestCacheHardening:
+    def test_injected_corruption_heals(self, cache_env):
+        key = ("ora", "PI4", "sequential", 3000)
+        cache.store("sim_stats", key, {"ipc": 3.4})
+        arm("cache.load=corrupt:n=1")
+        cache.reset_stats()
+        assert cache.load("sim_stats", key) is None  # corrupt -> miss
+        assert cache.stats.corrupt_dropped == 1
+        # The slot healed: a fresh store/load round-trips (n=1 spent).
+        cache.store("sim_stats", key, {"ipc": 3.4})
+        assert cache.load("sim_stats", key) == {"ipc": 3.4}
+
+    def test_injected_enospc_degrades_to_cache_off(self, cache_env, capsys):
+        arm("cache.store=oserror:n=1")
+        cache.reset_stats()
+        cache.store("sim_stats", ("k",), 1)
+        assert cache.stats.store_errors == 1
+        assert cache.stats.auto_disabled == 1
+        assert not cache.cache_enabled()  # off for the rest of the process
+        cache.store("sim_stats", ("k2",), 2)
+        assert cache.stats.store_errors == 1  # no further doomed writes
+        assert cache.load("sim_stats", ("k",)) is None
+        assert "result cache disabled" in capsys.readouterr().err
+        cache.reset_runtime_disable()
+        assert cache.cache_enabled()
+
+    def test_worker_cache_disable_is_counted_in_batch(self, cache_env):
+        # The auto-disable counter rides the worker->parent delta like
+        # every other cache counter.  Unique length: the store only
+        # happens when the lru-cold ``sim_stats`` body runs.
+        jobs = make_jobs(schemes=("sequential",), length=3200)
+        arm("cache.store=oserror:n=1")
+        report = run_batch_report(jobs, processes=1, config=FAST)
+        assert report.cache_stats.get("auto_disabled") == 1
+        assert report.outcome_counts == {"ok": 1}
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestSweepCLI:
+    SWEEP = [
+        "sweep",
+        "--benchmarks",
+        "ora",
+        "--machines",
+        "PI4",
+        "--schemes",
+        "sequential",
+        "--length",
+        "3000",
+        "--warmup",
+        "800",
+        "--jobs",
+        "1",
+    ]
+
+    def test_journal_then_resume_round_trip(self, cache_env, tmp_path, capsys):
+        from repro.cli import main
+
+        journal_dir = str(tmp_path / "sweep")
+        assert main(self.SWEEP + ["--journal", journal_dir]) == 0
+        first = capsys.readouterr().out
+        assert main(self.SWEEP + ["--resume", journal_dir]) == 0
+        second = capsys.readouterr().out
+        assert "1 skipped" in second
+
+        def table(text):
+            return [
+                line for line in text.splitlines() if line.startswith("ora")
+            ]
+
+        assert table(first) == table(second)
+
+    def test_permanent_failure_exits_nonzero(self, cache_env, capsys):
+        from repro.cli import main
+
+        arm("sim.stats=exc")
+        # Unique length so the lru-cold sim_stats body (and its fault
+        # site) actually runs.
+        args = [a if a != "3000" else "3400" for a in self.SWEEP]
+        code = main(args + ["--retries", "0"])
+        assert code == 1
+        assert "sweep failed" in capsys.readouterr().err
+
+    def test_manifest_carries_job_outcomes(self, cache_env, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "telemetry"
+        assert main(self.SWEEP + ["--telemetry", str(out)]) == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        (outcome,) = manifest["job_outcomes"]
+        assert outcome["status"] == "ok"
+        assert manifest["arguments"]["retries"] == 2
