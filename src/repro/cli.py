@@ -20,6 +20,10 @@ Commands:
   ``--telemetry [DIR]`` under the instrumented loop.
 * ``check`` — lint a benchmark x machine x scheme matrix with the
   ``repro.check`` verifiers (exit 1 on any violation).
+* ``serve`` — start the simulation service (HTTP/JSON job server over
+  the supervised worker engine; see ``docs/service.md``).
+* ``loadgen`` — benchmark a running service and write
+  ``BENCH_service_throughput.json``.
 * ``report`` — every paper artifact, in order.
 """
 
@@ -484,6 +488,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "result cache: "
         f"{cache.get('hits', 0)} hit(s), {cache.get('misses', 0)} miss(es), "
         f"{cache.get('stores', 0)} store(s), "
+        f"{cache.get('coalesced', 0)} coalesced, "
         f"{cache.get('corrupt_dropped', 0)} dropped"
         + (
             " — cache auto-disabled (filesystem error)"
@@ -551,6 +556,34 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(result.as_text())
         print("=" * 72)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        job_timeout=args.timeout,
+        retries=args.retries,
+        drain_timeout=args.drain_timeout,
+        start_method=args.start_method,
+    )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.service.loadgen import run_loadgen
+
+    report = run_loadgen(
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        duration=args.duration,
+        output=None if args.output == "-" else args.output,
+    )
+    return 0 if report["passed"] or not args.strict else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -744,6 +777,63 @@ def build_parser() -> argparse.ArgumentParser:
     pipetrace.add_argument("--length", type=int, default=4000)
     pipetrace.add_argument("--seed", type=int, default=0)
     pipetrace.set_defaults(func=_cmd_pipetrace)
+
+    serve = sub.add_parser(
+        "serve", help="start the HTTP/JSON simulation service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 = in-process serial; default: cpu-based)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="max unfinished jobs before 429 (admission control)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job timeout in seconds (timed-out jobs are retried)",
+    )
+    serve.add_argument("--retries", type=int, default=2)
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for in-flight jobs on SIGTERM",
+    )
+    serve.add_argument(
+        "--start-method",
+        choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help="multiprocessing start method for workers",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="benchmark a running simulation service"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8000)
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument("--duration", type=float, default=5.0)
+    loadgen.add_argument(
+        "--output",
+        default="BENCH_service_throughput.json",
+        help="report path ('-' to skip writing)",
+    )
+    loadgen.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 if the throughput/latency floors are missed",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     report = sub.add_parser("report", help="all paper artifacts")
     report.add_argument("--scale", type=float, default=1.0)

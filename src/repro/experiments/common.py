@@ -177,16 +177,15 @@ def sim_stats(
         fetch_penalty,
         block_words,
     )
-    cached = result_cache.load("sim_stats", key)
-    if cached is not None:
-        return cached
-    machine = get_machine(machine_name)
-    if fetch_penalty is not None:
-        machine = machine.with_fetch_penalty(fetch_penalty)
-    trace = variant_trace(benchmark, variant, length, seed, block_words)
-    stats = Simulator(machine, trace, scheme, warmup=warmup).run()
-    result_cache.store("sim_stats", key, stats)
-    return stats
+
+    def compute() -> SimStats:
+        machine = get_machine(machine_name)
+        if fetch_penalty is not None:
+            machine = machine.with_fetch_penalty(fetch_penalty)
+        trace = variant_trace(benchmark, variant, length, seed, block_words)
+        return Simulator(machine, trace, scheme, warmup=warmup).run()
+
+    return result_cache.get_or_compute("sim_stats", key, compute)
 
 
 @lru_cache(maxsize=None)
@@ -221,18 +220,16 @@ def telemetry_sim_stats(
         fetch_penalty,
         block_words,
     )
-    cached = result_cache.load("telemetry_stats", key)
-    if cached is not None:
-        return cached
-    machine = get_machine(machine_name)
-    if fetch_penalty is not None:
-        machine = machine.with_fetch_penalty(fetch_penalty)
-    trace = variant_trace(benchmark, variant, length, seed, block_words)
-    stats = Simulator(
-        machine, trace, scheme, warmup=warmup, telemetry=True
-    ).run()
-    result_cache.store("telemetry_stats", key, stats)
-    return stats
+    def compute() -> SimStats:
+        machine = get_machine(machine_name)
+        if fetch_penalty is not None:
+            machine = machine.with_fetch_penalty(fetch_penalty)
+        trace = variant_trace(benchmark, variant, length, seed, block_words)
+        return Simulator(
+            machine, trace, scheme, warmup=warmup, telemetry=True
+        ).run()
+
+    return result_cache.get_or_compute("telemetry_stats", key, compute)
 
 
 @lru_cache(maxsize=None)
@@ -249,14 +246,13 @@ def eir_stats(
     Disk-cached like :func:`sim_stats`.
     """
     key = (benchmark, machine_name, scheme, variant, length, seed)
-    cached = result_cache.load("eir_stats", key)
-    if cached is not None:
-        return cached
-    machine = get_machine(machine_name)
-    trace = variant_trace(benchmark, variant, length, seed)
-    result = measure_eir(trace, machine, scheme)
-    result_cache.store("eir_stats", key, result)
-    return result
+
+    def compute() -> EIRResult:
+        machine = get_machine(machine_name)
+        trace = variant_trace(benchmark, variant, length, seed)
+        return measure_eir(trace, machine, scheme)
+
+    return result_cache.get_or_compute("eir_stats", key, compute)
 
 
 def hmean_ipc(

@@ -37,7 +37,15 @@ site                      fired from                   kinds
 ``sim.stats``             ``experiments.common``       ``hang`` ``exc``
 ``cache.load``            result-cache load            ``corrupt``
 ``cache.store``           result-cache store           ``oserror``
+``service.queue``         service job admission        ``exc``
+``service.handoff``       pool worker dispatch         ``exc``
 ========================  ===========================  =========================
+
+The two ``service.*`` sites chaos-test the job server: an injected
+``service.queue`` failure must reject the request cleanly *before* it is
+accepted (HTTP 503, nothing lost), and ``service.handoff`` (tokened by
+job index + attempt, like ``batch.worker``) costs the dispatch one
+retry attempt without losing the accepted job.
 
 Determinism: a *tokened* site (``batch.worker`` passes the job index as
 token and the retry attempt number) decides by hashing ``(seed, site,

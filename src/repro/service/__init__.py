@@ -1,0 +1,30 @@
+"""Simulation-as-a-service: async job server over the worker engine.
+
+``repro serve`` starts a stdlib-only asyncio HTTP/JSON server that
+validates requests with ``repro.check``, coalesces identical in-flight
+requests (single flight), serves repeats from the persistent result
+cache, applies bounded-queue admission control (HTTP 429 +
+``Retry-After``), and drains gracefully on SIGTERM.  ``repro loadgen``
+benchmarks it.  See ``docs/service.md``.
+"""
+
+from repro.service.client import JobFailed, ServiceClient, ServiceError
+from repro.service.loadgen import run_loadgen
+from repro.service.protocol import ValidationError, job_key, validate_job
+from repro.service.scheduler import Draining, JobScheduler, QueueFull
+from repro.service.server import ServiceServer, serve
+
+__all__ = [
+    "Draining",
+    "JobFailed",
+    "JobScheduler",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ValidationError",
+    "job_key",
+    "run_loadgen",
+    "serve",
+    "validate_job",
+]

@@ -1,0 +1,189 @@
+"""A small blocking client for the simulation service.
+
+Built on :mod:`http.client` (stdlib, keep-alive) so scripts and the
+load generator share one well-behaved access path:
+
+* retries transient failures (connection errors, 429, 503) with
+  exponential backoff, honoring the server's ``Retry-After`` header
+  when present;
+* ``run_job`` submits with ``?wait=`` long-polling and keeps polling
+  past the server's per-request wait ceiling until the job is terminal,
+  so callers never busy-loop.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Any
+
+
+class ServiceError(RuntimeError):
+    """A definitive (non-retryable) error response from the service."""
+
+    def __init__(self, status: int, payload: Any):
+        super().__init__(f"HTTP {status}: {payload}")
+        self.status = status
+        self.payload = payload
+
+
+class JobFailed(ServiceError):
+    """The job was admitted but the simulation itself failed."""
+
+
+@dataclass
+class Response:
+    status: int
+    payload: Any
+    headers: dict[str, str]
+
+
+class ServiceClient:
+    """Keep-alive HTTP client with retry/backoff for the repro service."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout: float = 120.0,
+        max_retries: int = 5,
+        backoff: float = 0.2,
+        max_backoff: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self._conn: http.client.HTTPConnection | None = None
+
+    # plumbing --------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request_once(
+        self, method: str, path: str, body: dict | None
+    ) -> Response:
+        conn = self._connection()
+        payload = json.dumps(body).encode() if body is not None else None
+        try:
+            conn.request(
+                method,
+                path,
+                body=payload,
+                headers={"Content-Type": "application/json"}
+                if payload
+                else {},
+            )
+            raw = conn.getresponse()
+            data = raw.read()
+        except (http.client.HTTPException, OSError):
+            # The connection is poisoned; rebuild it on retry.
+            self.close()
+            raise
+        headers = {name.lower(): value for name, value in raw.getheaders()}
+        try:
+            decoded = json.loads(data) if data else None
+        except ValueError:
+            decoded = {"raw": data.decode("latin-1", "replace")}
+        return Response(raw.status, decoded, headers)
+
+    def request(self, method: str, path: str, body: dict | None = None) -> Response:
+        """One logical request: retries 429/503/connection errors with
+        backoff (honoring ``Retry-After``); other statuses return as-is."""
+        delay = self.backoff
+        last: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                response = self._request_once(method, path, body)
+            except (http.client.HTTPException, OSError) as exc:
+                last = exc
+            else:
+                if response.status not in (429, 503):
+                    return response
+                last = ServiceError(response.status, response.payload)
+                retry_after = response.headers.get("retry-after")
+                if retry_after is not None:
+                    try:
+                        delay = max(delay, float(retry_after))
+                    except ValueError:
+                        pass
+            if attempt == self.max_retries:
+                break
+            time.sleep(min(delay, self.max_backoff))
+            delay = min(delay * 2, self.max_backoff)
+        assert last is not None
+        raise last if isinstance(last, ServiceError) else ServiceError(
+            0, f"connection failed: {last}"
+        )
+
+    # high-level API --------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._expect_ok(self.request("GET", "/healthz"))
+
+    def metrics(self) -> dict:
+        return self._expect_ok(self.request("GET", "/metrics"))
+
+    def submit(self, job: dict, wait: float = 0.0) -> dict:
+        """Submit one job; returns the job record (maybe still running)."""
+        path = "/v1/jobs" + (f"?wait={wait:g}" if wait > 0 else "")
+        response = self.request("POST", path, job)
+        if response.status not in (200, 202):
+            raise ServiceError(response.status, response.payload)
+        return response.payload
+
+    def poll(self, job_id: str, wait: float = 0.0) -> dict:
+        path = f"/v1/jobs/{job_id}" + (f"?wait={wait:g}" if wait > 0 else "")
+        response = self.request("GET", path)
+        if response.status not in (200, 202):
+            raise ServiceError(response.status, response.payload)
+        return response.payload
+
+    def submit_batch(self, jobs: list[dict]) -> dict:
+        return self._expect_ok(
+            self.request("POST", "/v1/batch", {"jobs": jobs})
+        )
+
+    def run_job(self, job: dict, wait: float = 30.0, deadline: float = 600.0) -> dict:
+        """Submit and block until terminal; returns the ``done`` record.
+
+        Raises :class:`JobFailed` if the simulation failed, or
+        :class:`ServiceError` on timeout/rejection.
+        """
+        record = self.submit(job, wait=wait)
+        stop = time.monotonic() + deadline
+        while record["status"] == "running":
+            if time.monotonic() > stop:
+                raise ServiceError(
+                    202, f"job {record['id']} still running after {deadline}s"
+                )
+            record = self.poll(record["id"], wait=wait)
+        if record["status"] == "failed":
+            raise JobFailed(200, record)
+        return record
+
+    @staticmethod
+    def _expect_ok(response: Response) -> dict:
+        if response.status != 200:
+            raise ServiceError(response.status, response.payload)
+        return response.payload

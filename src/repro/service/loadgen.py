@@ -1,0 +1,186 @@
+"""Closed-loop load generator for the simulation service: ``repro loadgen``.
+
+Spins up N thread-based :class:`~repro.service.client.ServiceClient`
+workers, each submitting jobs drawn round-robin from a small mix of
+specs, and reports throughput plus p50/p95/p99 request latency.
+
+Two-phase protocol:
+
+1. **Warm** — every distinct spec in the mix is run once to completion,
+   populating the server memo and the workers' persistent result cache.
+   Warm-phase requests are *not* measured.
+2. **Timed** — workers hammer the warm specs for ``duration`` seconds;
+   each completed request (submit + any polls until terminal) records
+   one end-to-end latency sample.
+
+The report lands in ``BENCH_service_throughput.json`` next to the other
+benchmark artifacts, with the acceptance floors alongside the measured
+numbers so regressions are self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.service.client import ServiceClient, ServiceError
+
+#: Acceptance floors (ISSUE: warm-cache service throughput).
+THROUGHPUT_FLOOR_RPS = 50.0
+P99_CEILING_SECONDS = 0.25
+
+#: Default request mix: small jobs across distinct cache keys, so the
+#: timed phase exercises memo hits, coalescing, and HTTP overhead
+#: rather than raw simulation speed.
+DEFAULT_MIX = [
+    {
+        "benchmark": "ora",
+        "machine": "PI4",
+        "scheme": "sequential",
+        "length": 2_000,
+        "warmup": 400,
+    },
+    {
+        "benchmark": "ora",
+        "machine": "PI4",
+        "scheme": "collapsing_buffer",
+        "length": 2_000,
+        "warmup": 400,
+    },
+    {
+        "benchmark": "ora",
+        "machine": "PI8",
+        "scheme": "sequential",
+        "length": 2_000,
+        "warmup": 400,
+    },
+    {
+        "benchmark": "ora",
+        "machine": "PI8",
+        "scheme": "collapsing_buffer",
+        "length": 2_000,
+        "warmup": 400,
+    },
+]
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def run_loadgen(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    clients: int = 8,
+    duration: float = 5.0,
+    mix: list[dict] | None = None,
+    wait: float = 30.0,
+    output: str | Path | None = "BENCH_service_throughput.json",
+    quiet: bool = False,
+) -> dict:
+    """Run the two-phase load test; returns (and optionally writes) the
+    report dict."""
+    specs = list(mix or DEFAULT_MIX)
+
+    # Phase 1: warm every spec once (not measured).
+    warm_started = time.monotonic()
+    with ServiceClient(host, port) as client:
+        for spec in specs:
+            client.run_job(spec, wait=wait)
+    warm_seconds = time.monotonic() - warm_started
+
+    # Phase 2: timed closed loop.
+    latencies: list[float] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+    stop_at = time.monotonic() + duration
+
+    def worker(offset: int) -> None:
+        local: list[float] = []
+        local_errors: list[str] = []
+        with ServiceClient(host, port) as client:
+            index = offset
+            while time.monotonic() < stop_at:
+                spec = specs[index % len(specs)]
+                index += 1
+                started = time.monotonic()
+                try:
+                    client.run_job(spec, wait=wait)
+                except ServiceError as exc:
+                    local_errors.append(str(exc))
+                    continue
+                local.append(time.monotonic() - started)
+        with lock:
+            latencies.extend(local)
+            errors.extend(local_errors)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    timed_started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(duration + 120.0)
+    elapsed = time.monotonic() - timed_started
+
+    completed = len(latencies)
+    throughput = completed / elapsed if elapsed > 0 else 0.0
+    p50 = _percentile(latencies, 0.50)
+    p95 = _percentile(latencies, 0.95)
+    p99 = _percentile(latencies, 0.99)
+    report = {
+        "config": {
+            "host": host,
+            "port": port,
+            "clients": clients,
+            "duration_seconds": duration,
+            "distinct_specs": len(specs),
+            "benchmark": specs[0].get("benchmark"),
+        },
+        "warm_phase_seconds": round(warm_seconds, 4),
+        "timed_phase": {
+            "elapsed_seconds": round(elapsed, 4),
+            "requests_completed": completed,
+            "requests_failed": len(errors),
+            "throughput_rps": round(throughput, 1),
+            "latency_seconds": {
+                "p50": round(p50, 4),
+                "p95": round(p95, 4),
+                "p99": round(p99, 4),
+            },
+        },
+        "floors": {
+            "throughput_rps_min": THROUGHPUT_FLOOR_RPS,
+            "p99_seconds_max": P99_CEILING_SECONDS,
+        },
+        "passed": bool(
+            throughput >= THROUGHPUT_FLOOR_RPS and p99 <= P99_CEILING_SECONDS
+        ),
+    }
+    if errors:
+        report["timed_phase"]["sample_errors"] = errors[:5]
+
+    if output is not None:
+        path = Path(output)
+        path.write_text(json.dumps(report, indent=2) + "\n")
+        if not quiet:
+            print(f"wrote {path}")
+    if not quiet:
+        print(
+            f"loadgen: {completed} requests in {elapsed:.1f}s "
+            f"({throughput:.1f} req/s), "
+            f"p50={p50 * 1000:.1f}ms p95={p95 * 1000:.1f}ms "
+            f"p99={p99 * 1000:.1f}ms "
+            f"[{'PASS' if report['passed'] else 'FAIL'}: "
+            f"floor {THROUGHPUT_FLOOR_RPS:.0f} req/s, "
+            f"p99 <= {P99_CEILING_SECONDS * 1000:.0f}ms]"
+        )
+    return report

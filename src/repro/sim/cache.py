@@ -22,6 +22,14 @@ simulator source is unchanged.  This module provides that memo on disk:
 * Stores are atomic (write to a temp file, then ``os.replace``), so a
   killed process never leaves a half-written entry behind — concurrent
   sweeps sharing a cache directory can never observe a torn entry.
+* Misses are *single-flight* across processes (:func:`get_or_compute`):
+  the first process to miss a key claims it with a lockfile and
+  computes; concurrent missers wait for that result instead of running
+  the same simulation twice (counted as ``coalesced`` in
+  :class:`ResultCacheStats`).  Claims are best-effort — a claim older
+  than ``REPRO_CACHE_CLAIM_TTL`` seconds (a crashed claimant) is broken,
+  and a waiter that outlives the TTL computes the value itself rather
+  than hang, so the worst case is only ever the old duplicated work.
 * A store that fails with ``ENOSPC``/``EACCES``/``EROFS`` (full or
   unwritable filesystem) logs one warning and degrades the cache to
   *off* for the rest of the process (``auto_disabled`` in
@@ -46,9 +54,10 @@ import os
 import pickle
 import sys
 import tempfile
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro import faults
 
@@ -67,7 +76,9 @@ class ResultCacheStats:
     ``store_errors`` counts best-effort stores swallowed by an ``OSError``
     (read-only or full filesystem); ``auto_disabled`` counts the (at
     most one per process) events where such an error switched the cache
-    off for the remainder of the process.
+    off for the remainder of the process.  ``coalesced`` counts
+    :func:`get_or_compute` calls that reused a result another process
+    was computing concurrently (single-flight; a subset of ``hits``).
     """
 
     hits: int = 0
@@ -77,6 +88,7 @@ class ResultCacheStats:
     corrupt_dropped: int = 0
     cleared: int = 0
     auto_disabled: int = 0
+    coalesced: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
@@ -272,6 +284,108 @@ def store(kind: str, key: tuple, value: Any) -> None:
         stats.store_errors += 1
         if exc.errno in _FATAL_STORE_ERRNOS:
             _disable_for_process(exc)
+
+
+# -- single-flight (cross-process request coalescing) -------------------------
+
+#: Default seconds before an in-flight claim is presumed dead: long
+#: enough for any single simulation in the suite, short enough that a
+#: crashed claimant only ever delays (never blocks) its waiters.
+DEFAULT_CLAIM_TTL = 120.0
+
+#: Poll period while waiting on another process's claim.
+_CLAIM_POLL_SECONDS = 0.02
+
+
+def claim_ttl() -> float:
+    """Staleness TTL for claims (``REPRO_CACHE_CLAIM_TTL`` seconds)."""
+    try:
+        return max(0.1, float(os.environ.get("REPRO_CACHE_CLAIM_TTL", "")))
+    except ValueError:
+        return DEFAULT_CLAIM_TTL
+
+
+def _claim_path(kind: str, key: tuple) -> Path:
+    return _entry_path(kind, key).with_suffix(".claim")
+
+
+def _try_claim(lock: Path, ttl: float) -> bool:
+    """Atomically claim *lock*; break a stale claim so the next try wins.
+
+    Returns True when this process now holds the claim.  Any filesystem
+    failure other than "already claimed" counts as acquired: claims are
+    a best-effort optimisation and must never block computation.
+    """
+    try:
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(str(lock), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        try:
+            if time.time() - lock.stat().st_mtime > ttl:
+                # Claimant presumed dead: break the claim.  Losing a
+                # race here just means one extra poll round.
+                lock.unlink()
+        except OSError:
+            pass
+        return False
+    except OSError:
+        return True  # unclaimable filesystem: compute without the memo
+    with os.fdopen(fd, "w") as handle:
+        handle.write(str(os.getpid()))
+    return True
+
+
+def _release_claim(lock: Path) -> None:
+    try:
+        lock.unlink()
+    except OSError:
+        pass
+
+
+def get_or_compute(kind: str, key: tuple, compute: Callable[[], Any]) -> Any:
+    """Cached value for ``(kind, key)``, computing (at most once across
+    concurrently missing processes) on a miss.
+
+    The first process to miss claims the key with a lockfile and runs
+    *compute*; other processes missing the same key meanwhile poll for
+    the claimant's stored result instead of duplicating the work
+    (``stats.coalesced``).  A waiter falls back to computing itself when
+    the claim outlives :func:`claim_ttl` (crashed or wedged claimant) or
+    the claimant finished without a loadable entry (store failed), so
+    this can delay but never lose a result.
+    """
+    if not cache_enabled():
+        return compute()
+    value = load(kind, key)
+    if value is not None:
+        return value
+    ttl = claim_ttl()
+    lock = _claim_path(kind, key)
+    deadline = time.monotonic() + ttl
+    while True:
+        if _try_claim(lock, ttl):
+            try:
+                value = compute()
+            finally:
+                _release_claim(lock)
+            store(kind, key, value)
+            return value
+        # Another process is computing this key: wait for its store.
+        entry = _entry_path(kind, key)
+        while lock.exists() and not entry.exists():
+            if time.monotonic() > deadline:
+                return compute()  # claimant overstayed the TTL
+            time.sleep(_CLAIM_POLL_SECONDS)
+        if entry.exists():
+            value = load(kind, key)
+            if value is not None:
+                stats.coalesced += 1
+                return value
+        # Claim released without a usable entry (claimant failed or its
+        # store was rejected): take over — or give up on coalescing once
+        # the deadline passes.
+        if time.monotonic() > deadline:
+            return compute()
 
 
 def clear() -> int:

@@ -41,17 +41,20 @@ processes.  See ``docs/robustness.md``.
 from __future__ import annotations
 
 import base64
+import concurrent.futures
 import hashlib
 import heapq
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
+import queue
 import random
+import threading
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, is_dataclass
 from pathlib import Path
-from queue import Empty
 from typing import Any, Callable
 
 from repro import faults
@@ -275,12 +278,23 @@ class SweepJournal:
 # -- worker side --------------------------------------------------------------
 
 
-def _worker_main(worker_id: int, run_job, task_queue, result_queue) -> None:
-    """Worker loop: pull ``(index, attempt, job)``, push an ``ok`` or
-    ``error`` message.  Module-level and closure-free so it pickles
-    under ``spawn``.  Exceptions are *reported*, not fatal — only a real
-    crash (or an injected one) kills the process, and the supervisor
-    notices that by itself."""
+def _worker_main(worker_id: int, run_job, task_queue, result_conn) -> None:
+    """Worker loop: pull ``(index, attempt, job)``, send an ``ok`` or
+    ``error`` message over this worker's *private* result pipe.
+    Module-level and closure-free so it pickles under ``spawn``.
+    Exceptions are *reported*, not fatal — only a real crash (or an
+    injected one) kills the process, and the supervisor notices that by
+    itself.
+
+    The result channel is a per-worker ``Pipe``, deliberately **not** a
+    shared ``multiprocessing.Queue``: a queue serialises its writers
+    through a cross-process lock taken by a background feeder thread,
+    and a worker that dies abruptly (injected crash, timeout SIGKILL,
+    OOM) between that thread's acquire and release leaks the lock
+    forever, wedging every other worker's result delivery and
+    deadlocking the supervisor.  With one single-writer pipe per worker
+    a death can only sever that worker's own channel — the parent sees
+    ``EOFError``, requeues the job and respawns the slot."""
     faults.mark_worker()
     while True:
         item = task_queue.get()
@@ -295,16 +309,16 @@ def _worker_main(worker_id: int, run_job, task_queue, result_queue) -> None:
         except KeyboardInterrupt:  # pragma: no cover - parent interrupt
             return
         except BaseException as exc:
-            result_queue.put((
+            message = (
                 "error",
                 worker_id,
                 index,
                 attempt,
                 f"{type(exc).__name__}: {exc}",
                 time.perf_counter() - start,
-            ))
+            )
         else:
-            result_queue.put((
+            message = (
                 "ok",
                 worker_id,
                 index,
@@ -312,7 +326,11 @@ def _worker_main(worker_id: int, run_job, task_queue, result_queue) -> None:
                 result,
                 result_cache.stats.since(before),
                 time.perf_counter() - start,
-            ))
+            )
+        try:
+            result_conn.send(message)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            return
 
 
 # -- parent side --------------------------------------------------------------
@@ -335,6 +353,8 @@ class _Worker:
     id: int
     process: Any
     tasks: Any
+    #: Parent-side receive end of this worker's private result pipe.
+    conn: Any
     #: ``(index, attempt)`` in flight, or ``None`` when idle.
     busy: tuple[int, int] | None = None
     started: float = 0.0
@@ -452,7 +472,6 @@ class _Supervisor:
 
     def run_parallel(self, processes: int, method: str) -> None:
         context = multiprocessing.get_context(method)
-        result_queue = context.Queue()
         self._next_worker_id = 0
         workers: list[_Worker] = []
         by_id: dict[int, _Worker] = {}
@@ -460,13 +479,20 @@ class _Supervisor:
         def spawn() -> _Worker:
             self._next_worker_id += 1
             tasks = context.SimpleQueue()
+            # One private result pipe per worker (see _worker_main): a
+            # dying worker can sever only its own channel, never a lock
+            # shared with its siblings.
+            recv_conn, send_conn = context.Pipe(duplex=False)
             process = context.Process(
                 target=_worker_main,
-                args=(self._next_worker_id, self.run_job, tasks, result_queue),
+                args=(self._next_worker_id, self.run_job, tasks, send_conn),
                 daemon=True,
             )
             process.start()
-            worker = _Worker(self._next_worker_id, process, tasks)
+            # Drop the parent's copy of the write end so worker death
+            # closes the pipe's last writer and the parent sees EOF.
+            send_conn.close()
+            worker = _Worker(self._next_worker_id, process, tasks, recv_conn)
             by_id[worker.id] = worker
             return worker
 
@@ -476,6 +502,7 @@ class _Supervisor:
             if worker.process.is_alive():  # pragma: no cover - stubborn child
                 worker.process.kill()
                 worker.process.join(1.0)
+            worker.conn.close()
             by_id.pop(worker.id, None)
 
         def replace(worker: _Worker) -> None:
@@ -520,16 +547,18 @@ class _Supervisor:
                     worker.started = now
                     worker.tasks.put((index, attempt, self.jobs[index]))
 
-                try:
-                    message = result_queue.get(timeout=self.config.poll_interval)
-                except Empty:
-                    message = None
-                while message is not None:
-                    handle(message)
+                ready = multiprocessing.connection.wait(
+                    [worker.conn for worker in workers],
+                    timeout=self.config.poll_interval,
+                )
+                for conn in ready:
                     try:
-                        message = result_queue.get_nowait()
-                    except Empty:
-                        message = None
+                        while conn.poll(0):
+                            handle(conn.recv())
+                    except (EOFError, OSError):
+                        # Worker died (possibly mid-message): the death
+                        # check below requeues its job and respawns.
+                        pass
 
                 now = time.monotonic()
                 for worker in list(workers):
@@ -600,6 +629,8 @@ class _Supervisor:
                 worker.process.join(max(0.0, deadline - time.monotonic()))
                 if worker.process.is_alive():
                     kill(worker)
+                else:
+                    worker.conn.close()
 
 
 _UNSET = object()
@@ -679,3 +710,466 @@ def run_supervised(
         degraded_serial=supervisor.degraded_serial,
         worker_failures=supervisor.worker_failures,
     )
+
+
+# -- persistent worker pool ---------------------------------------------------
+
+
+class PoolDraining(RuntimeError):
+    """``submit()`` was called after ``drain()`` had started."""
+
+
+class PoolJobError(RuntimeError):
+    """A submitted job exhausted its retry budget.
+
+    Carries the :class:`JobOutcome` audit record in :attr:`outcome` so
+    callers can report *why* (per-attempt failure reasons, wall time).
+    """
+
+    def __init__(self, message: str, outcome: JobOutcome):
+        super().__init__(message)
+        self.outcome = outcome
+
+
+@dataclass(slots=True)
+class _PoolTicket:
+    """One submitted job in flight through the pool."""
+
+    index: int
+    job: Any
+    future: concurrent.futures.Future
+    outcome: JobOutcome
+
+
+class WorkerPool:
+    """Long-lived supervised worker pool with an orderly way out.
+
+    :func:`run_supervised` is single-use: it owns its workers for
+    exactly one batch and tears them down in a ``finally`` that only
+    batch completion (or Ctrl-C) reaches.  A serving front-end needs the
+    same supervision guarantees — per-job wall-clock timeouts, bounded
+    retries with backoff, dead-worker detection and respawn,
+    degrade-to-serial after repeated pool failures, the ``batch.worker``
+    fault-injection site — for an *open-ended* stream of jobs, plus a
+    public shutdown path instead of reaching into the batch teardown:
+
+    * :meth:`submit` hands one job to the pool and returns a
+      :class:`concurrent.futures.Future` resolving to the job's result,
+      or failing with :class:`PoolJobError` (audit record attached) once
+      the retry budget is spent.  Accepted jobs always resolve — a
+      crashed or hung worker costs a retry, never the job.
+    * :meth:`drain` stops intake (further submits raise
+      :class:`PoolDraining`), lets queued and in-flight jobs finish,
+      and joins the worker processes.
+
+    ``processes=0`` runs jobs inline on the supervision thread (no
+    worker processes: timeouts unenforceable, injected crashes degrade
+    to exceptions — exactly :meth:`_Supervisor.run_serial` semantics).
+    Supervision runs on a daemon thread, so futures resolve off the
+    caller's thread; asyncio callers bridge with ``asyncio.wrap_future``.
+    """
+
+    def __init__(
+        self,
+        run_job: Callable[[Any], Any],
+        processes: int | None = None,
+        config: SupervisorConfig | None = None,
+        requested_start_method: str | None = None,
+    ) -> None:
+        self.run_job = run_job
+        self.config = config or DEFAULT_CONFIG
+        if self.config.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if processes is None:
+            processes = os.cpu_count() or 1
+        self._method = start_method(requested_start_method)
+        self.processes = max(0, processes)
+        self.serial = self.processes == 0 or self._method is None
+        self.worker_failures = 0
+        self.degraded_serial = False
+        self._rng = random.Random(self.config.backoff_seed)
+        self._seq = 0
+        self._inbox: queue.Queue[_PoolTicket] = queue.Queue()
+        self._live: dict[int, _PoolTicket] = {}
+        self._draining = threading.Event()
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._unfinished = 0
+        self._thread = threading.Thread(
+            target=self._supervise, name="repro-worker-pool", daemon=True
+        )
+        self._thread.start()
+
+    # public surface --------------------------------------------------------
+
+    def submit(self, job: Any) -> concurrent.futures.Future:
+        """Queue *job*; the returned future resolves to its result."""
+        if self._draining.is_set():
+            raise PoolDraining("worker pool is draining")
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._lock:
+            index = self._submitted
+            self._submitted += 1
+            self._unfinished += 1
+        record = asdict(job) if is_dataclass(job) else {"job": repr(job)}
+        ticket = _PoolTicket(
+            index, job, future, JobOutcome(index=index, job=record)
+        )
+        self._inbox.put(ticket)
+        return future
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop accepting, finish queued and in-flight jobs, join the
+        workers.  Returns True once fully drained (within *timeout*
+        seconds, if given); idempotent."""
+        self._draining.set()
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def unfinished(self) -> int:
+        """Jobs accepted but not yet resolved (queued + in flight)."""
+        with self._lock:
+            return self._unfinished
+
+    def info(self) -> dict:
+        """Snapshot for health/metrics endpoints."""
+        with self._lock:
+            return {
+                "processes": 0 if self.serial else self.processes,
+                "start_method": None if self.serial else self._method,
+                "serial": self.serial or self.degraded_serial,
+                "degraded_serial": self.degraded_serial,
+                "worker_failures": self.worker_failures,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "unfinished": self._unfinished,
+                "draining": self._draining.is_set(),
+            }
+
+    # resolution bookkeeping ------------------------------------------------
+
+    def _set_result(self, ticket: _PoolTicket, value: Any) -> None:
+        with self._lock:
+            self._completed += 1
+            self._unfinished -= 1
+        try:
+            ticket.future.set_result(value)
+        except concurrent.futures.InvalidStateError:  # cancelled waiter
+            pass
+
+    def _set_exception(self, ticket: _PoolTicket, exc: BaseException) -> None:
+        with self._lock:
+            self._failed += 1
+            self._unfinished -= 1
+        try:
+            ticket.future.set_exception(exc)
+        except concurrent.futures.InvalidStateError:  # cancelled waiter
+            pass
+
+    def _resolve(self, ticket: _PoolTicket, attempt: int, result: Any) -> None:
+        outcome = ticket.outcome
+        outcome.attempts = max(outcome.attempts, attempt)
+        outcome.status = "ok" if not outcome.failures else "retried"
+        self._set_result(ticket, result)
+
+    def _record_failure(
+        self, ticket: _PoolTicket, attempt: int, reason: str, kind: str
+    ) -> bool:
+        """Record one failed attempt; True when a retry is still owed."""
+        outcome = ticket.outcome
+        outcome.attempts = max(outcome.attempts, attempt)
+        outcome.failures.append(f"attempt {attempt}: {reason}")
+        if attempt >= self.config.max_attempts:
+            outcome.status = kind
+            self._set_exception(
+                ticket,
+                PoolJobError(
+                    f"job {kind} after {attempt} attempt(s): {reason}",
+                    outcome,
+                ),
+            )
+            return False
+        return True
+
+    # serial execution ------------------------------------------------------
+
+    def _run_inline(self, ticket: _PoolTicket, first_attempt: int = 1) -> None:
+        """Run one ticket on the supervision thread with retries (same
+        semantics as :meth:`_Supervisor.run_serial`)."""
+        attempt = first_attempt
+        while True:
+            start = time.perf_counter()
+            try:
+                faults.maybe_fail(
+                    "batch.worker", token=ticket.index, attempt=attempt
+                )
+                result = self.run_job(ticket.job)
+            except BaseException as exc:
+                ticket.outcome.wall_seconds += time.perf_counter() - start
+                if not self._record_failure(
+                    ticket, attempt, f"{type(exc).__name__}: {exc}", "crashed"
+                ):
+                    return
+                time.sleep(self.config.backoff_seconds(attempt, self._rng))
+                attempt += 1
+            else:
+                ticket.outcome.wall_seconds += time.perf_counter() - start
+                self._resolve(ticket, attempt, result)
+                return
+
+    def _supervise_serial(self) -> None:
+        while True:
+            try:
+                ticket = self._inbox.get(timeout=self.config.poll_interval)
+            except queue.Empty:
+                if self._draining.is_set():
+                    return
+                continue
+            self._run_inline(ticket)
+
+    # parallel execution ----------------------------------------------------
+
+    def _schedule(
+        self,
+        pending: list[tuple[float, int, int, int]],
+        index: int,
+        attempt: int,
+        delay: float,
+    ) -> None:
+        self._seq += 1
+        heapq.heappush(
+            pending, (time.monotonic() + delay, self._seq, index, attempt)
+        )
+
+    def _requeue(
+        self,
+        pending: list[tuple[float, int, int, int]],
+        index: int,
+        attempt: int,
+        reason: str,
+        kind: str,
+    ) -> None:
+        ticket = self._live.get(index)
+        if ticket is None:
+            return
+        if self._record_failure(ticket, attempt, reason, kind):
+            delay = self.config.backoff_seconds(attempt, self._rng)
+            self._schedule(pending, index, attempt + 1, delay)
+        else:
+            del self._live[index]
+
+    def _supervise_parallel(self) -> None:
+        context = multiprocessing.get_context(self._method)
+        workers: list[_Worker] = []
+        by_id: dict[int, _Worker] = {}
+        pending: list[tuple[float, int, int, int]] = []
+        next_worker_id = 0
+
+        def spawn() -> _Worker:
+            nonlocal next_worker_id
+            next_worker_id += 1
+            tasks = context.SimpleQueue()
+            # Per-worker result pipe, same rationale as _worker_main's
+            # docstring: no result lock shared across crash-prone peers.
+            recv_conn, send_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_worker_main,
+                args=(next_worker_id, self.run_job, tasks, send_conn),
+                daemon=True,
+            )
+            process.start()
+            send_conn.close()
+            worker = _Worker(next_worker_id, process, tasks, recv_conn)
+            by_id[worker.id] = worker
+            return worker
+
+        def kill(worker: _Worker) -> None:
+            worker.process.terminate()
+            worker.process.join(1.0)
+            if worker.process.is_alive():  # pragma: no cover - stubborn child
+                worker.process.kill()
+                worker.process.join(1.0)
+            worker.conn.close()
+            by_id.pop(worker.id, None)
+
+        def replace(worker: _Worker) -> None:
+            by_id.pop(worker.id, None)
+            workers[workers.index(worker)] = spawn()
+
+        def handle(message: tuple) -> None:
+            kind, worker_id, index, attempt = message[:4]
+            worker = by_id.get(worker_id)
+            if worker is not None and worker.busy == (index, attempt):
+                worker.busy = None
+            ticket = self._live.get(index)
+            if ticket is None:
+                return  # stale duplicate from a reclaimed worker
+            if kind == "ok":
+                result, cache_delta, seconds = message[4:]
+                ticket.outcome.wall_seconds += seconds
+                result_cache.stats.add(cache_delta)
+                del self._live[index]
+                self._resolve(ticket, attempt, result)
+            else:
+                reason, seconds = message[4:]
+                ticket.outcome.wall_seconds += seconds
+                self._requeue(pending, index, attempt, reason, "crashed")
+
+        workers.extend(spawn() for _ in range(self.processes))
+        try:
+            while True:
+                while True:  # intake
+                    try:
+                        ticket = self._inbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    self._live[ticket.index] = ticket
+                    self._schedule(pending, ticket.index, 1, 0.0)
+                if self._draining.is_set() and not self._live:
+                    if self._inbox.empty():
+                        return
+                    continue  # late submissions raced the drain flag
+
+                now = time.monotonic()
+                for worker in workers:  # dispatch
+                    if worker.busy is not None:
+                        continue
+                    while pending and pending[0][2] not in self._live:
+                        heapq.heappop(pending)
+                    if not pending or pending[0][0] > now:
+                        break  # heap is time-ordered: nothing ready yet
+                    _, _, index, attempt = heapq.heappop(pending)
+                    try:
+                        # Chaos site: the parent-side job hand-off.  An
+                        # injected failure here costs an attempt, never
+                        # the job.
+                        faults.maybe_fail(
+                            "service.handoff", token=index, attempt=attempt
+                        )
+                    except BaseException as exc:
+                        self._requeue(
+                            pending,
+                            index,
+                            attempt,
+                            f"{type(exc).__name__}: {exc}",
+                            "crashed",
+                        )
+                        continue
+                    worker.busy = (index, attempt)
+                    worker.started = now
+                    worker.tasks.put((index, attempt, self._live[index].job))
+
+                ready = multiprocessing.connection.wait(
+                    [worker.conn for worker in workers],
+                    timeout=self.config.poll_interval,
+                )
+                for conn in ready:
+                    try:
+                        while conn.poll(0):
+                            handle(conn.recv())
+                    except (EOFError, OSError):
+                        # Worker died (possibly mid-message): the
+                        # supervision pass requeues and respawns.
+                        pass
+
+                now = time.monotonic()
+                for worker in list(workers):  # supervision pass
+                    if worker.busy is None:
+                        if not worker.process.is_alive():
+                            self.worker_failures += 1
+                            replace(worker)
+                        continue
+                    index, attempt = worker.busy
+                    timeout = self.config.timeout
+                    if not worker.process.is_alive():
+                        self.worker_failures += 1
+                        exit_code = worker.process.exitcode
+                        kill(worker)
+                        self._requeue(
+                            pending,
+                            index,
+                            attempt,
+                            f"worker died (exit code {exit_code})",
+                            "crashed",
+                        )
+                        replace(worker)
+                    elif timeout is not None and now - worker.started > timeout:
+                        self.worker_failures += 1
+                        kill(worker)
+                        ticket = self._live.get(index)
+                        if ticket is not None:
+                            ticket.outcome.wall_seconds += timeout
+                        self._requeue(
+                            pending,
+                            index,
+                            attempt,
+                            f"timed out after {timeout:g}s",
+                            "timeout",
+                        )
+                        replace(worker)
+
+                if self.worker_failures > self.config.max_worker_failures:
+                    # The pool is hostile territory: reclaim every job
+                    # and serve the rest of the pool's life in-process.
+                    self.degraded_serial = True
+                    for worker in workers:
+                        kill(worker)
+                    workers.clear()
+                    for index in sorted(self._live):
+                        ticket = self._live.pop(index)
+                        self._run_inline(
+                            ticket, ticket.outcome.attempts + 1
+                        )
+                    self._supervise_serial()
+                    return
+        finally:
+            for worker in workers:
+                if worker.process.is_alive():
+                    try:
+                        worker.tasks.put(None)
+                    except Exception:  # pragma: no cover - broken pipe
+                        pass
+            deadline = time.monotonic() + 2.0
+            for worker in workers:
+                worker.process.join(max(0.0, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    kill(worker)
+                else:
+                    worker.conn.close()
+
+    # supervision thread ----------------------------------------------------
+
+    def _supervise(self) -> None:
+        try:
+            if self.serial:
+                self._supervise_serial()
+            else:
+                self._supervise_parallel()
+        except BaseException as exc:  # pragma: no cover - safety net
+            self._abort(exc)
+            raise
+
+    def _abort(self, exc: BaseException) -> None:
+        """Supervision died: fail every unresolved job rather than hang
+        its waiters (accepted jobs resolve to an error, never silence)."""
+        while True:
+            try:
+                ticket = self._inbox.get_nowait()
+            except queue.Empty:
+                break
+            self._live[ticket.index] = ticket
+        for ticket in list(self._live.values()):
+            ticket.outcome.status = "crashed"
+            ticket.outcome.failures.append(f"supervision failed: {exc}")
+            self._set_exception(
+                ticket, PoolJobError(f"pool supervision failed: {exc}", ticket.outcome)
+            )
+        self._live.clear()

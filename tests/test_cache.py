@@ -1,6 +1,9 @@
 """Tests for the persistent simulation result cache."""
 
+import os
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -113,3 +116,79 @@ def test_telemetry_knob_salts_the_key(cache_env, monkeypatch):
     cache.store("sim_stats", key, "plain")
     monkeypatch.setenv("REPRO_TELEMETRY", "1")
     assert cache.load("sim_stats", key) is None  # different generation
+
+
+# -- single-flight (get_or_compute) -------------------------------------------
+
+
+def test_get_or_compute_miss_then_hit(cache_env):
+    cache.reset_stats()
+    calls = []
+    value = cache.get_or_compute("sim_stats", ("k",), lambda: calls.append(1) or 41)
+    assert value == 41 and calls == [1]
+    assert cache.get_or_compute("sim_stats", ("k",), lambda: 99) == 41
+    assert calls == [1]  # second call served from the cache
+    assert cache.stats.coalesced == 0
+    assert not list(cache_env.glob("**/*.claim"))  # claim released
+
+
+def test_concurrent_misses_coalesce_to_one_compute(cache_env):
+    cache.reset_stats()
+    calls = []
+    barrier = threading.Barrier(2)
+    results = {}
+
+    def compute():
+        calls.append(threading.get_ident())
+        time.sleep(0.2)  # hold the claim long enough for the waiter
+        return 42
+
+    def miss(name):
+        barrier.wait()
+        results[name] = cache.get_or_compute("sim_stats", ("c",), compute)
+
+    threads = [
+        threading.Thread(target=miss, args=(name,)) for name in ("a", "b")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(10.0)
+    assert results == {"a": 42, "b": 42}
+    assert len(calls) == 1  # single flight: exactly one simulation
+    assert cache.stats.coalesced == 1
+
+
+def test_stale_claim_is_broken(cache_env, monkeypatch):
+    cache.reset_stats()
+    monkeypatch.setenv("REPRO_CACHE_CLAIM_TTL", "0.1")
+    lock = cache._claim_path("sim_stats", ("stale",))
+    lock.parent.mkdir(parents=True, exist_ok=True)
+    lock.write_text("99999")
+    old = time.time() - 60
+    os.utime(lock, (old, old))
+    start = time.monotonic()
+    value = cache.get_or_compute("sim_stats", ("stale",), lambda: 7)
+    assert value == 7
+    assert time.monotonic() - start < 5.0  # did not wait out a dead claim
+
+
+def test_failed_compute_releases_the_claim(cache_env):
+    cache.reset_stats()
+    with pytest.raises(RuntimeError):
+        cache.get_or_compute(
+            "sim_stats", ("boom",), lambda: (_ for _ in ()).throw(RuntimeError())
+        )
+    assert not list(cache_env.glob("**/*.claim"))
+    assert cache.get_or_compute("sim_stats", ("boom",), lambda: 5) == 5
+
+
+def test_get_or_compute_with_cache_disabled(cache_env, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    calls = []
+    for _ in range(2):
+        assert cache.get_or_compute(
+            "sim_stats", ("off",), lambda: calls.append(1) or 3
+        ) == 3
+    assert len(calls) == 2  # no memoisation, but no claims either
+    assert not list(cache_env.glob("**/*"))

@@ -269,6 +269,43 @@ class TestSupervisorChaos:
         assert report.results == serial
         assert report.outcome_counts == {"ok": len(jobs)}
 
+    @FORK_ONLY
+    def test_crash_storm_sweep_never_deadlocks(self, tmp_path):
+        # Regression: the engine once shared a single result
+        # multiprocessing.Queue across workers.  A worker that died
+        # between its feeder thread's acquire and release of the queue's
+        # cross-process write lock leaked the lock forever, wedging every
+        # surviving worker's result delivery and hanging the supervisor
+        # at result_queue.get() (reproduced ~1 in 3 runs of exactly this
+        # sweep on a single-CPU host).  Results now travel over private
+        # per-worker pipes, so a death can sever only its own channel.
+        # Run the original repro end to end a few times under a hard
+        # timeout: any hang fails the test instead of freezing the suite.
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        env["REPRO_FAULTS"] = "seed=2;batch.worker=crash:p=0.4:a=1"
+        for _ in range(3):
+            proc = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "sweep",
+                    "--benchmarks", "espresso", "li",
+                    "--machines", "PI4",
+                    "--schemes", "sequential", "perfect",
+                    "--jobs", "2", "--retries", "2", "--length", "8000",
+                ],
+                capture_output=True,
+                text=True,
+                timeout=120,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            )
+            assert proc.returncode == 0, proc.stdout + proc.stderr
+            assert "job outcomes" in proc.stdout
+
     def test_empty_batch(self):
         assert run_batch([]) == []
         assert run_batch_report([]).outcomes == []

@@ -1,0 +1,362 @@
+"""Tests for the simulation service: HTTP server, scheduler, client.
+
+Each test spins a real :class:`ServiceServer` on an ephemeral port (an
+asyncio loop on a daemon thread) over a :class:`WorkerPool`, then talks
+to it with the stdlib-backed :class:`ServiceClient` — the same stack
+``repro serve`` and ``repro loadgen`` use.  The chaos tests arm
+``REPRO_FAULTS`` and prove crashed workers and injected queue failures
+never lose an accepted job or hang a client.
+"""
+
+import asyncio
+import contextlib
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro import faults
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.loadgen import run_loadgen
+from repro.service.protocol import ValidationError, job_key, validate_job
+from repro.service.scheduler import JobScheduler
+from repro.service.server import ServiceServer
+from repro.sim import cache
+from repro.sim.batch import SimJob, _run_job
+from repro.sim.supervisor import SupervisorConfig, SweepJournal, WorkerPool
+
+#: Fast supervision policy so retries/backoff cost milliseconds.
+FAST = SupervisorConfig(
+    max_attempts=3,
+    backoff_base=0.01,
+    backoff_max=0.05,
+    backoff_jitter=0.1,
+    poll_interval=0.01,
+)
+
+FORK_ONLY = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+JOB = {
+    "benchmark": "ora",
+    "machine": "PI4",
+    "scheme": "sequential",
+    "length": 2_000,
+    "warmup": 400,
+}
+
+
+def arm(spec: str) -> None:
+    os.environ["REPRO_FAULTS"] = spec
+    faults.reload()
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate(tmp_path, monkeypatch):
+    """Isolated result cache; faults disarmed on the way out."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.reload()
+    yield
+    os.environ.pop("REPRO_FAULTS", None)
+    faults.reload()
+    cache.reset_runtime_disable()
+    cache.reset_stats()
+
+
+@contextlib.contextmanager
+def service(processes=0, max_queue=8, config=None, start_method=None):
+    """A live server on an ephemeral port; drains on exit."""
+    pool = WorkerPool(
+        _run_job,
+        processes=processes,
+        config=config or FAST,
+        requested_start_method=start_method,
+    )
+    scheduler = JobScheduler(pool, max_queue=max_queue)
+    server = ServiceServer(scheduler, port=0)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        ready.set()
+        loop.run_until_complete(server.run(install_signal_handlers=False))
+        loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server did not start"
+    try:
+        yield server, scheduler, pool
+    finally:
+        loop.call_soon_threadsafe(server.request_shutdown)
+        thread.join(60)
+        assert not thread.is_alive(), "server did not shut down"
+
+
+# -- protocol -----------------------------------------------------------------
+
+
+def test_validate_job_fills_defaults():
+    job = validate_job({"benchmark": "ora", "machine": "PI4", "scheme": "sequential"})
+    assert isinstance(job, SimJob)
+    assert (job.variant, job.length, job.warmup) == ("orig", 20_000, 4_000)
+    assert job_key(job) == SweepJournal.job_key(job)
+
+
+def test_validate_job_collects_every_error():
+    with pytest.raises(ValidationError) as excinfo:
+        validate_job(
+            {
+                "benchmark": "nope",
+                "machine": "PI999",
+                "scheme": "wat",
+                "length": 7,
+                "bogus": 1,
+            }
+        )
+    text = "\n".join(excinfo.value.errors)
+    assert len(excinfo.value.errors) >= 5
+    for fragment in ("benchmark", "machine", "scheme", "length", "bogus"):
+        assert fragment in text
+
+
+def test_validate_job_rejects_non_object():
+    with pytest.raises(ValidationError):
+        validate_job([1, 2, 3])
+    with pytest.raises(ValidationError):
+        validate_job({"benchmark": "ora", "machine": "PI4", "scheme": "sequential", "warmup": 5_000, "length": 1_000})
+
+
+# -- basic HTTP surface -------------------------------------------------------
+
+
+def test_health_metrics_and_routing():
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["pool"]["serial"] is True
+            metrics = client.metrics()
+            assert metrics["queue"] == {"depth": 0, "max": 8}
+            assert "result_cache" in metrics
+            assert client.request("GET", "/nope").status == 404
+            assert client.request("GET", "/v1/jobs/job-9").status == 404
+            assert client.request("PUT", "/healthz").status == 405
+            assert client.request("POST", "/v1/jobs", None).status == 400
+
+
+def test_submit_runs_job_bit_identical_to_direct_simulator():
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            record = client.run_job(JOB, wait=30)
+    assert record["status"] == "done"
+    direct = _run_job(validate_job(JOB)).as_dict()
+    assert record["result"] == direct
+
+
+def test_validation_failure_is_400_with_details():
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit({"benchmark": "nope", **{k: v for k, v in JOB.items() if k != "benchmark"}})
+    assert excinfo.value.status == 400
+    assert any("benchmark" in d for d in excinfo.value.payload["details"])
+
+
+def test_batch_endpoint_mixed_outcomes():
+    bad = dict(JOB, scheme="wat")
+    other = dict(JOB, machine="PI8")
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            out = client.submit_batch([JOB, bad, other, JOB])
+            assert out["accepted"] == 3
+            assert [item["accepted"] for item in out["jobs"]] == [
+                True,
+                False,
+                True,
+                True,
+            ]
+            # The duplicate coalesced onto the first submission.
+            assert out["jobs"][3]["id"] == out["jobs"][0]["id"]
+            assert out["jobs"][3]["disposition"] == "coalesced"
+            done = client.poll(out["jobs"][0]["id"], wait=30)
+            assert done["status"] == "done"
+
+
+# -- coalescing and admission control -----------------------------------------
+
+
+def test_identical_concurrent_requests_cost_one_simulation():
+    spec = dict(JOB, scheme="banked_sequential", seed=3)
+    results = []
+    with service(max_queue=16) as (server, scheduler, pool):
+
+        def one() -> None:
+            with ServiceClient(port=server.port) as client:
+                results.append(client.run_job(spec, wait=30))
+
+        threads = [threading.Thread(target=one) for _ in range(5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        with ServiceClient(port=server.port) as client:
+            counters = client.metrics()["service"]["counters"]
+        info = pool.info()
+    assert len(results) == 5
+    assert len({r["id"] for r in results}) == 1  # one shared record
+    assert len({str(r["result"]) for r in results}) == 1
+    assert counters["service.jobs_admitted"] == 1
+    assert counters["service.jobs_coalesced"] == 4
+    assert info["submitted"] == 1  # single flight through the pool
+
+
+def test_repeat_of_finished_job_served_from_memo():
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            first = client.run_job(JOB, wait=30)
+            again = client.submit(JOB, wait=5)
+            assert again["disposition"] == "memo"
+            assert again["status"] == "done"
+            assert again["id"] == first["id"]
+            assert again["result"] == first["result"]
+        assert pool.info()["submitted"] == 1
+
+
+def test_full_queue_rejects_with_429_and_retry_after():
+    statuses = []
+    headers = []
+    with service(max_queue=1) as (server, scheduler, pool):
+        specs = [
+            dict(JOB, length=50_000, warmup=400, seed=100 + i)
+            for i in range(4)
+        ]
+
+        def slam(spec) -> None:
+            with ServiceClient(port=server.port, max_retries=0) as client:
+                response = client._request_once("POST", "/v1/jobs", spec)
+                statuses.append(response.status)
+                headers.append(response.headers)
+
+        threads = [threading.Thread(target=slam, args=(s,)) for s in specs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+    assert statuses.count(429) == 3  # one admitted, three refused
+    for status, hdrs in zip(statuses, headers):
+        if status == 429:
+            assert float(hdrs["retry-after"]) >= 1
+
+
+def test_drain_rejects_new_work_with_503():
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port, max_retries=0) as client:
+            client.run_job(JOB, wait=30)
+            assert scheduler.drain(timeout=10)
+            assert client.health()["status"] == "draining"
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(dict(JOB, seed=9))
+            assert excinfo.value.status == 503
+
+
+# -- chaos: the robustness stack composes with the service --------------------
+
+
+def test_injected_queue_fault_rejects_cleanly():
+    arm("seed=11;service.queue=exc:p=1:n=1")
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port, max_retries=0) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit(JOB)
+            assert excinfo.value.status == 503
+            # Nothing was accepted, nothing leaked; a retry succeeds.
+            assert scheduler.queue_depth == 0
+            record = client.run_job(JOB, wait=30)
+            assert record["status"] == "done"
+            counters = client.metrics()["service"]["counters"]
+            assert counters["service.queue_faults"] == 1
+    # ...and the retrying client rides a queue fault automatically.
+    arm("seed=11;service.queue=exc:p=1:n=1")
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port, backoff=0.05) as client:
+            assert client.run_job(JOB, wait=30)["status"] == "done"
+
+
+@FORK_ONLY
+def test_worker_crashes_never_lose_accepted_jobs():
+    specs = [dict(JOB, scheme=s, seed=7) for s in (
+        "sequential",
+        "collapsing_buffer",
+        "banked_sequential",
+        "perfect",
+    )]
+    expected = [_run_job(validate_job(s)).as_dict() for s in specs]
+    arm("seed=5;batch.worker=crash:a=1")  # every job's 1st attempt dies
+    results = {}
+    with service(processes=2, start_method="fork", max_queue=8) as (
+        server,
+        scheduler,
+        pool,
+    ):
+
+        def one(index, spec) -> None:
+            with ServiceClient(port=server.port) as client:
+                results[index] = client.run_job(spec, wait=30, deadline=120)
+
+        threads = [
+            threading.Thread(target=one, args=(i, s))
+            for i, s in enumerate(specs)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(120)
+        info = pool.info()
+    assert sorted(results) == [0, 1, 2, 3]  # no hung clients
+    for index, want in enumerate(expected):
+        assert results[index]["status"] == "done"
+        assert results[index]["result"] == want  # bit-identical recovery
+    assert info["worker_failures"] >= 4  # the crashes really happened
+
+
+@FORK_ONLY
+def test_injected_handoff_fault_costs_one_attempt():
+    arm("seed=3;service.handoff=exc:a=1")
+    with service(processes=1, start_method="fork") as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            record = client.run_job(JOB, wait=30, deadline=120)
+    assert record["status"] == "done"
+    assert record["result"] == _run_job(validate_job(JOB)).as_dict()
+
+
+# -- loadgen ------------------------------------------------------------------
+
+
+def test_loadgen_smoke(tmp_path):
+    out = tmp_path / "bench.json"
+    with service(max_queue=32) as (server, scheduler, pool):
+        report = run_loadgen(
+            port=server.port,
+            clients=2,
+            duration=0.6,
+            mix=[JOB, dict(JOB, machine="PI8")],
+            output=out,
+            quiet=True,
+        )
+    assert out.exists()
+    timed = report["timed_phase"]
+    assert timed["requests_completed"] > 0
+    assert timed["requests_failed"] == 0
+    assert timed["latency_seconds"]["p99"] >= timed["latency_seconds"]["p50"]
+    assert report["floors"] == {
+        "throughput_rps_min": 50.0,
+        "p99_seconds_max": 0.25,
+    }
