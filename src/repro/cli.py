@@ -17,7 +17,11 @@ Commands:
   recovery policy, ``--journal DIR`` records completions and
   ``--resume DIR`` skips work already journalled there;
   ``--sanitize`` runs every job under the pipeline sanitizer,
-  ``--telemetry [DIR]`` under the instrumented loop.
+  ``--telemetry [DIR]`` under the instrumented loop, ``--no-kernel``
+  forces the interpreted loop.
+* ``bench`` — single-simulation throughput, interpreted vs compiled
+  kernel (cold table build and warm tape replay); ``--update PATH``
+  refreshes ``BENCH_sim_throughput.json``, ``--floor N`` gates CI.
 * ``check`` — lint a benchmark x machine x scheme matrix with the
   ``repro.check`` verifiers (exit 1 on any violation).
 * ``serve`` — start the simulation service (HTTP/JSON job server over
@@ -75,6 +79,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             args.scheme,
             max_instructions=args.length,
             seed=args.seed,
+            kernel=False if args.no_kernel else None,
         )
         for key, value in stats.as_dict().items():
             print(f"{key:20s} {value}")
@@ -422,6 +427,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         warmup=args.warmup,
         seed=args.seed,
         telemetry=telemetry,
+        kernel=False if args.no_kernel else None,
     )
     journal_dir = args.resume or args.journal
     journal = SweepJournal(journal_dir) if journal_dir else None
@@ -537,6 +543,74 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sim.bench import measure_throughput, record_section
+
+    if args.kernel and args.no_kernel:
+        print("--kernel and --no-kernel are mutually exclusive", file=sys.stderr)
+        return 2
+    modes: tuple[str, ...] = ("interpreted", "kernel")
+    if args.kernel:
+        modes = ("kernel",)
+    elif args.no_kernel:
+        modes = ("interpreted",)
+    report = measure_throughput(
+        benchmark=args.benchmark,
+        machine_name=args.machine,
+        scheme=args.scheme,
+        length=args.length,
+        warmup=args.warmup,
+        seed=args.seed,
+        repeats=args.repeats,
+        modes=modes,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        interp = report.get("interpreted")
+        kernel = report.get("kernel")
+        print(
+            f"{args.benchmark} on {args.machine}/{args.scheme}, "
+            f"{args.length:,} instructions (best of {args.repeats}):"
+        )
+        if interp:
+            print(
+                f"  interpreted  {interp['instructions_per_second']:>12,} insn/s"
+            )
+        if kernel:
+            print(
+                f"  kernel cold  {kernel['cold_instructions_per_second']:>12,} insn/s"
+                "  (table + tape build)"
+            )
+            print(
+                f"  kernel warm  {kernel['warm_instructions_per_second']:>12,} insn/s"
+            )
+        if "speedup_warm_over_interpreted" in report:
+            print(
+                f"  speedup      {report['speedup_warm_over_interpreted']:>12}x"
+                "  (warm kernel over interpreted)"
+            )
+    if args.update:
+        record_section(args.update, "compiled_kernel", report)
+        print(f"updated {args.update}")
+    if args.floor is not None:
+        kernel = report.get("kernel")
+        measured = (
+            kernel["warm_instructions_per_second"]
+            if kernel
+            else report["interpreted"]["instructions_per_second"]
+        )
+        if measured < args.floor:
+            print(
+                f"throughput {measured:,} insn/s below floor {args.floor:,}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_pipetrace(args: argparse.Namespace) -> int:
     from repro.sim.pipetrace import trace_pipeline
 
@@ -606,6 +680,14 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("scheme")
     simulate.add_argument("--length", type=int, default=20_000)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--no-kernel",
+        action="store_true",
+        help=(
+            "force the interpreted cycle loop instead of the compiled "
+            "kernel (bit-identical statistics either way)"
+        ),
+    )
     simulate.add_argument(
         "--telemetry",
         nargs="?",
@@ -732,6 +814,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every simulation under the pipeline sanitizer",
     )
     sweep.add_argument(
+        "--no-kernel",
+        action="store_true",
+        help="force the interpreted loop for every job",
+    )
+    sweep.add_argument(
         "--telemetry",
         nargs="?",
         const="",
@@ -766,6 +853,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="program variants to lint (orig reordered pad_all pad_trace)",
     )
     check.set_defaults(func=_cmd_check)
+
+    bench = sub.add_parser(
+        "bench",
+        help="single-simulation throughput: interpreted vs compiled kernel",
+    )
+    bench.add_argument("--benchmark", default="espresso")
+    bench.add_argument("--machine", default="PI8")
+    bench.add_argument("--scheme", default="interleaved_sequential")
+    bench.add_argument("--length", type=int, default=20_000)
+    bench.add_argument("--warmup", type=int, default=4_000)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing (default 3)"
+    )
+    bench.add_argument(
+        "--kernel", action="store_true", help="measure only the compiled kernel"
+    )
+    bench.add_argument(
+        "--no-kernel",
+        action="store_true",
+        help="measure only the interpreted loop",
+    )
+    bench.add_argument("--json", action="store_true")
+    bench.add_argument(
+        "--update",
+        metavar="PATH",
+        help="write the report into PATH as the 'compiled_kernel' section",
+    )
+    bench.add_argument(
+        "--floor",
+        type=int,
+        default=None,
+        metavar="INSN_PER_SEC",
+        help="exit 1 if warm-kernel (or interpreted-only) throughput is lower",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     pipetrace = sub.add_parser(
         "pipetrace", help="cycle-by-cycle pipeline trace"

@@ -151,6 +151,7 @@ def sim_stats(
     seed: int = DEFAULT_CONFIG.seed,
     fetch_penalty: int | None = None,
     block_words: int = 4,
+    kernel: bool | None = None,
 ) -> SimStats:
     """Run (and memoise) one full IPC simulation.
 
@@ -162,6 +163,12 @@ def sim_stats(
     sanitizer (:mod:`repro.check.sanitizer`); the disk-cache key is
     salted with that knob, but the in-process ``lru_cache`` is not —
     flip the environment before the first call, not between calls.
+
+    *kernel* is forwarded to :class:`Simulator` (``None`` defers to the
+    ``REPRO_KERNEL`` knob).  It joins the disk-cache key even though the
+    kernel is bit-identical — so a result produced with the kernel
+    forced off never masks (or is masked by) one produced with it on
+    while either path is under suspicion.
     """
     # Chaos site: lets the harness prove a transient failure here is
     # retried (lru_cache does not memoise the raised exception).
@@ -176,6 +183,7 @@ def sim_stats(
         seed,
         fetch_penalty,
         block_words,
+        kernel,
     )
 
     def compute() -> SimStats:
@@ -183,7 +191,9 @@ def sim_stats(
         if fetch_penalty is not None:
             machine = machine.with_fetch_penalty(fetch_penalty)
         trace = variant_trace(benchmark, variant, length, seed, block_words)
-        return Simulator(machine, trace, scheme, warmup=warmup).run()
+        return Simulator(
+            machine, trace, scheme, warmup=warmup, kernel=kernel
+        ).run()
 
     return result_cache.get_or_compute("sim_stats", key, compute)
 

@@ -34,6 +34,7 @@ site                      fired from                   kinds
 ========================  ===========================  =========================
 ``batch.worker``          supervisor job wrapper       ``crash`` ``hang`` ``exc``
 ``sim.run``               ``Simulator.run()`` entry    ``hang`` ``exc``
+``sim.kernel``            compiled-kernel selection    ``exc``
 ``sim.stats``             ``experiments.common``       ``hang`` ``exc``
 ``cache.load``            result-cache load            ``corrupt``
 ``cache.store``           result-cache store           ``oserror``
@@ -45,7 +46,10 @@ The two ``service.*`` sites chaos-test the job server: an injected
 ``service.queue`` failure must reject the request cleanly *before* it is
 accepted (HTTP 503, nothing lost), and ``service.handoff`` (tokened by
 job index + attempt, like ``batch.worker``) costs the dispatch one
-retry attempt without losing the accepted job.
+retry attempt without losing the accepted job.  ``sim.kernel`` is
+special: an injected fault there does not fail the run — it makes
+``Simulator.run()`` degrade to the interpreted loop (decline reason
+``fault-injected``) with bit-identical statistics.
 
 Determinism: a *tokened* site (``batch.worker`` passes the job index as
 token and the retry attempt number) decides by hashing ``(seed, site,

@@ -46,6 +46,7 @@ FIELDS = (
     "fetch_penalty",
     "block_words",
     "telemetry",
+    "kernel",
 )
 
 
@@ -138,6 +139,10 @@ def validate_job(payload: object) -> SimJob:
     if not isinstance(telemetry, bool):
         errors.append("telemetry must be a boolean")
         telemetry = False
+    kernel = payload.get("kernel")
+    if kernel is not None and not isinstance(kernel, bool):
+        errors.append("kernel must be a boolean or null")
+        kernel = None
 
     if errors:
         raise ValidationError(errors)
@@ -152,6 +157,7 @@ def validate_job(payload: object) -> SimJob:
         fetch_penalty=fetch_penalty,
         block_words=block_words,
         telemetry=telemetry,
+        kernel=kernel,
     )
 
 

@@ -66,6 +66,11 @@ class SimJob:
     #: Run under the instrumented telemetry loop (slot attribution in
     #: ``SimStats.extra``; cached under a separate result-cache kind).
     telemetry: bool = False
+    #: Compiled-kernel selection (:mod:`repro.sim.kernel`): ``None``
+    #: defers to the ``REPRO_KERNEL`` knob, ``False`` forces the
+    #: interpreted loop (``sweep --no-kernel``).  Joins the persistent
+    #: cache key via :func:`repro.experiments.common.sim_stats`.
+    kernel: bool | None = None
 
 
 @dataclass(slots=True)
@@ -108,17 +113,22 @@ def _run_job(job: SimJob) -> SimStats:
     # Imported here so workers resolve it after fork.
     from repro.experiments.common import sim_stats, telemetry_sim_stats
 
-    runner = telemetry_sim_stats if job.telemetry else sim_stats
-    return runner(
-        job.benchmark,
-        job.machine,
-        job.scheme,
+    kwargs = dict(
         variant=job.variant,
         length=job.length,
         warmup=job.warmup,
         seed=job.seed,
         fetch_penalty=job.fetch_penalty,
         block_words=job.block_words,
+    )
+    if job.telemetry:
+        # The instrumented loop ignores the kernel (it always declines
+        # under telemetry), so the flag stays out of its cache key.
+        return telemetry_sim_stats(
+            job.benchmark, job.machine, job.scheme, **kwargs
+        )
+    return sim_stats(
+        job.benchmark, job.machine, job.scheme, kernel=job.kernel, **kwargs
     )
 
 

@@ -193,6 +193,7 @@ _CHECK_ENV_KNOBS = (
     "REPRO_SANITIZE",
     "REPRO_CHECK_DEEP_PERIOD",
     "REPRO_TELEMETRY",
+    "REPRO_KERNEL",
 )
 
 
@@ -203,11 +204,16 @@ def _check_env_fingerprint() -> tuple:
 
 
 def _entry_path(kind: str, key: tuple) -> Path:
+    # Deferred import: kernel imports nothing from this module, but the
+    # import is kept local anyway so cache.py stays importable first.
+    from repro.sim.kernel import KERNEL_TABLE_VERSION
+
     payload = repr(
         (
             FORMAT_VERSION,
             source_version(),
             _check_env_fingerprint(),
+            KERNEL_TABLE_VERSION,
             kind,
             key,
         )

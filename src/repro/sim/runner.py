@@ -28,13 +28,15 @@ def run_trace(
     warmup: int = DEFAULT_WARMUP,
     sanitize: bool | None = None,
     telemetry: bool | None = None,
+    kernel: bool | None = None,
 ) -> SimStats:
     """Simulate *trace* on *machine* with the fetch *scheme*.
 
     *sanitize* opts into the ``repro.check`` pipeline sanitizer;
     *telemetry* into the instrumented loop with slot attribution in
-    ``SimStats.extra`` (each ``None`` defers to its environment knob,
-    ``REPRO_SANITIZE`` / ``REPRO_TELEMETRY``).
+    ``SimStats.extra``; *kernel* selects the compiled execution kernel
+    (each ``None`` defers to its environment knob, ``REPRO_SANITIZE`` /
+    ``REPRO_TELEMETRY`` / ``REPRO_KERNEL``).
     """
     if isinstance(machine, str):
         machine = get_machine(machine)
@@ -45,6 +47,7 @@ def run_trace(
         warmup=warmup,
         sanitize=sanitize,
         telemetry=telemetry,
+        kernel=kernel,
     ).run()
 
 
@@ -57,6 +60,7 @@ def run_workload(
     warmup: int = DEFAULT_WARMUP,
     sanitize: bool | None = None,
     telemetry: bool | None = None,
+    kernel: bool | None = None,
 ) -> SimStats:
     """Generate a trace for *workload* and simulate it.
 
@@ -76,6 +80,7 @@ def run_workload(
         warmup=warmup,
         sanitize=sanitize,
         telemetry=telemetry,
+        kernel=kernel,
     )
 
 

@@ -43,6 +43,7 @@ from time import perf_counter
 
 from repro import faults
 from repro.check.sanitizer import PipelineSanitizer, sanitize_enabled
+from repro.sim import kernel as compiled_kernel
 from repro.core.pipeline import ExecutionCore
 from repro.core.rob import EntryState
 from repro.fetch.base import FetchUnit
@@ -92,6 +93,7 @@ class Simulator:
         wrong_path_fetch: bool = False,
         sanitize: bool | None = None,
         telemetry: bool | None = None,
+        kernel: bool | None = None,
     ) -> None:
         """Set up a run.
 
@@ -123,13 +125,28 @@ class Simulator:
         stay identical to the fast loop's; ``SimStats.extra`` gains the
         ``slot_*`` attribution, and :attr:`telemetry_report` carries the
         full record after :meth:`run`.
+
+        *kernel* selects the compiled execution kernel
+        (:mod:`repro.sim.kernel`): ``None`` (default) defers to the
+        ``REPRO_KERNEL`` knob (on unless disabled), ``False`` forces the
+        interpreted loop.  The kernel produces bit-identical statistics
+        and silently declines configurations it cannot reproduce
+        (:attr:`kernel_decline_reason` says why; :attr:`kernel_used`
+        reports what actually ran).
         """
         self.config = config
         self.trace = trace
         if isinstance(scheme, FetchUnit):
             self.fetch_unit = scheme
+            #: Whether this run's fetch unit was built fresh by the
+            #: factory (vs. handed in, possibly carrying prior state).
+            #: Gates the kernel's fetch-outcome tape: only a fresh unit
+            #: makes the run a pure function of (trace, config, scheme).
+            self._fresh_fetch_unit = False
         else:
             self.fetch_unit = create_fetch_unit(scheme, config, trace)
+            self._fresh_fetch_unit = True
+        self._prewarmed = bool(prewarm_cache and trace.instructions)
         self.core = ExecutionCore(config)
         self.warmup = min(max(0, warmup), len(trace.instructions) // 2)
         self.wrong_path_fetch = wrong_path_fetch
@@ -147,7 +164,20 @@ class Simulator:
         )
         #: Filled by :meth:`run` when telemetry is on.
         self.telemetry_report: TelemetryReport | None = None
-        if prewarm_cache and trace.instructions:
+        #: Compiled-kernel request (``None`` = environment default) and
+        #: outcome: :meth:`run` sets :attr:`kernel_used` when the compiled
+        #: engine ran and :attr:`kernel_decline_reason` when it fell back.
+        self.kernel_requested = kernel
+        self.kernel_used = False
+        self.kernel_decline_reason: str | None = None
+        #: Prewarm is deferred until a loop actually reads the I-cache:
+        #: a kernel tape replay never touches it, and every interpreted
+        #: path calls :meth:`_ensure_prewarmed` before its first cycle.
+        self._prewarm_pending = self._prewarmed
+
+    def _ensure_prewarmed(self) -> None:
+        if self._prewarm_pending:
+            self._prewarm_pending = False
             self._prewarm_icache()
 
     def _prewarm_icache(self) -> None:
@@ -173,8 +203,31 @@ class Simulator:
         # Chaos site (per run, never per cycle): a no-op unless the
         # deterministic fault harness is armed via REPRO_FAULTS.
         faults.maybe_fail("sim.run")
+        # Compiled-kernel selection: run the table-driven engine when it
+        # is requested (argument, else REPRO_KERNEL default) and can
+        # reproduce this configuration exactly; otherwise record why and
+        # fall back to the interpreted loops below.  An injected
+        # ``sim.kernel`` fault degrades to the interpreted loop before
+        # any state is touched — results stay correct under chaos.
+        requested = self.kernel_requested
+        if requested is None:
+            requested = compiled_kernel.kernel_enabled()
+        if requested:
+            reason = compiled_kernel.decline_reason(self)
+            if reason is None:
+                try:
+                    faults.maybe_fail("sim.kernel")
+                except faults.FaultInjected:
+                    reason = "fault-injected"
+            if reason is None:
+                self.kernel_used = True
+                return compiled_kernel.run_compiled(self)
+            self.kernel_decline_reason = reason
+        else:
+            self.kernel_decline_reason = "disabled"
         if self.telemetry is not None:
             return self._run_instrumented()
+        self._ensure_prewarmed()
         config = self.config
         core = self.core
         fetch = self.fetch_unit
@@ -375,6 +428,7 @@ class Simulator:
         :meth:`run` must produce field-for-field identical
         :class:`SimStats`.
         """
+        self._ensure_prewarmed()
         config = self.config
         core = self.core
         fetch = self.fetch_unit
@@ -500,6 +554,7 @@ class Simulator:
         the attribution ledger, and each pipeline phase accumulates its
         wall-clock share in the metrics registry.
         """
+        self._ensure_prewarmed()
         config = self.config
         core = self.core
         fetch = self.fetch_unit
@@ -736,18 +791,9 @@ class Simulator:
         start = self._snapshot or dict.fromkeys(end, 0)
         delta = {key: end[key] - start[key] for key in end}
 
-        # Dynamic branch/nop statistics over the measured region.
-        is_control = trace.control_array()
-        is_taken = trace.taken_array()
-        is_nop = trace.nop_array()
-        branches = taken = nops = 0
-        for index in range(start["retired"], len(trace.instructions)):
-            if is_control[index]:
-                branches += 1
-                if is_taken[index]:
-                    taken += 1
-            elif is_nop[index]:
-                nops += 1
+        # Dynamic branch/nop statistics over the measured region (cached
+        # on the trace — the warmup start recurs run after run).
+        branches, taken, nops = trace.region_mix(start["retired"])
 
         return SimStats(
             benchmark=trace.name,

@@ -54,6 +54,18 @@ class DynamicTrace:
     _nop: list[bool] | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    # Compiled-kernel tables (repro.sim.kernel) cached per trace, keyed
+    # by (memory-ordering mode, length); the length in the key doubles
+    # as the staleness check, mirroring ``_arrays_stale``.
+    _kernel_tables: dict | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    # Branch/taken/nop counts over [start, length) regions, cached for
+    # Simulator._collect_stats (the same warmup start recurs run after
+    # run).  See region_mix().
+    _region_mix: dict | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -107,6 +119,38 @@ class DynamicTrace:
         if self._arrays_stale():
             self._build_arrays()
         return self._nop
+
+    def region_mix(self, start: int) -> tuple[int, int, int]:
+        """(branches, taken branches, nops) over ``[start, len)``, cached.
+
+        A pure function of the trace, so the result is memoized per start
+        index (keyed with the length as the staleness check, like the
+        lazy arrays).
+        """
+        n = len(self.instructions)
+        cache = self._region_mix
+        if cache is None:
+            cache = {}
+            self._region_mix = cache
+        key = (start, n)
+        mix = cache.get(key)
+        if mix is None:
+            if len(cache) > 64 or any(k[1] != n for k in cache):
+                cache.clear()
+            is_control = self.control_array()
+            is_taken = self.taken_array()
+            is_nop = self.nop_array()
+            branches = taken = nops = 0
+            for index in range(start, n):
+                if is_control[index]:
+                    branches += 1
+                    if is_taken[index]:
+                        taken += 1
+                elif is_nop[index]:
+                    nops += 1
+            mix = (branches, taken, nops)
+            cache[key] = mix
+        return mix
 
     def next_address(self, index: int) -> int:
         """Address executed after dynamic position *index* (-1 at the end)."""

@@ -1,10 +1,16 @@
-"""Bit-for-bit equivalence of the optimized and reference cycle loops.
+"""Bit-for-bit equivalence of the execution paths.
 
-``Simulator.run()`` is the event-skipping fast loop;
-``Simulator.run_reference()`` is the retained naive loop that spins every
-cycle.  Every reported statistic — including the warmup snapshot counters
-— must be identical, or the fast loop has broken an invariant (see
-``docs/performance.md``).
+``Simulator.run()`` prefers the compiled kernel (``repro.sim.kernel``)
+and falls back to the event-skipping interpreted loop;
+``Simulator.run_reference()`` is the retained naive loop that spins
+every cycle.  Every reported statistic — including the warmup snapshot
+counters — must be identical across all three, or an optimization has
+broken an invariant (see ``docs/performance.md``).
+
+The kernel matrix below covers every vetted scheme on every machine
+preset plus the synthetic micro workloads; the fallback tests prove the
+kernel declines ineligible configurations *silently* — same statistics,
+interpreted loop, decline reason recorded.
 """
 
 import dataclasses
@@ -12,7 +18,9 @@ import dataclasses
 import pytest
 
 from repro.machines.presets import get_machine
+from repro.sim import kernel as sim_kernel
 from repro.sim.simulator import Simulator
+from repro.workloads.micro import MICRO_WORKLOADS
 from repro.workloads.suite import load_workload
 from repro.workloads.trace import generate_trace
 
@@ -23,6 +31,17 @@ BENCHMARKS = ("espresso", "li")
 MACHINES = ("PI4", "PI12")
 SCHEMES = ("sequential", "collapsing_buffer")
 
+#: Every scheme the kernel vets (matching ``kernel._SUPPORTED_SCHEMES``)
+#: and every machine preset — the golden kernel matrix.
+KERNEL_SCHEMES = (
+    "sequential",
+    "interleaved_sequential",
+    "banked_sequential",
+    "collapsing_buffer",
+    "perfect",
+)
+KERNEL_MACHINES = ("PI4", "PI8", "PI12")
+
 
 def _trace(benchmark: str):
     workload = load_workload(benchmark)
@@ -31,24 +50,49 @@ def _trace(benchmark: str):
     )
 
 
-def _assert_identical(machine, trace, scheme, **kwargs):
-    fast_sim = Simulator(machine, trace, scheme, **kwargs)
-    fast = fast_sim.run()
-    ref_sim = Simulator(machine, trace, scheme, **kwargs)
-    ref = ref_sim.run_reference()
-    for field in dataclasses.fields(type(fast)):
+def _micro_trace(name: str):
+    workload = MICRO_WORKLOADS[name]()
+    return generate_trace(
+        workload.program, workload.behavior, 1_500, seed=0
+    )
+
+
+def _assert_stats_equal(a, b, context):
+    for field in dataclasses.fields(type(a)):
         if field.name == "extra":
             # Auxiliary payload (telemetry attribution, ad-hoc notes) —
             # not a counted statistic, so not part of the bit-identity
             # contract.  test_telemetry.py asserts it stays empty when
             # telemetry is off.
             continue
-        assert getattr(fast, field.name) == getattr(ref, field.name), (
-            f"{field.name} diverged for {machine.name}/{scheme}"
+        assert getattr(a, field.name) == getattr(b, field.name), (
+            f"{field.name} diverged for {context}"
         )
+
+
+def _assert_identical(machine, trace, scheme, expect_kernel=None, **kwargs):
+    """run() (kernel when eligible), run(kernel=False) and
+    run_reference() must agree on every counter and the warmup snapshot.
+    """
+    context = f"{machine.name}/{scheme}"
+    fast_sim = Simulator(machine, trace, scheme, **kwargs)
+    fast = fast_sim.run()
+    if expect_kernel is not None:
+        assert fast_sim.kernel_used == expect_kernel, (
+            f"kernel_used={fast_sim.kernel_used} "
+            f"(decline: {fast_sim.kernel_decline_reason}) for {context}"
+        )
+    interp_sim = Simulator(machine, trace, scheme, kernel=False, **kwargs)
+    interp = interp_sim.run()
+    assert not interp_sim.kernel_used
+    ref_sim = Simulator(machine, trace, scheme, **kwargs)
+    ref = ref_sim.run_reference()
+    _assert_stats_equal(fast, ref, context)
+    _assert_stats_equal(interp, ref, context + " (interpreted)")
     # The warmup snapshot must also land on the same cycle with the same
     # counter values (the skip path replays it explicitly).
     assert fast_sim._snapshot == ref_sim._snapshot
+    assert interp_sim._snapshot == ref_sim._snapshot
 
 
 # Parametrized as "bench" because pytest-benchmark claims the name
@@ -62,12 +106,69 @@ def test_fast_loop_matches_reference(bench, machine_name, scheme):
         _trace(bench),
         scheme,
         warmup=WARMUP,
+        expect_kernel=True,
     )
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS)
+@pytest.mark.parametrize("machine_name", KERNEL_MACHINES)
+@pytest.mark.parametrize("scheme", KERNEL_SCHEMES)
+def test_kernel_golden_matrix(bench, machine_name, scheme):
+    """Kernel vs interpreted vs reference across every vetted scheme on
+    every machine preset."""
+    _assert_identical(
+        get_machine(machine_name),
+        _trace(bench),
+        scheme,
+        warmup=WARMUP,
+        expect_kernel=True,
+    )
+
+
+@pytest.mark.parametrize("micro", sorted(MICRO_WORKLOADS))
+@pytest.mark.parametrize("scheme", ("sequential", "collapsing_buffer"))
+def test_kernel_micro_workloads(micro, scheme):
+    _assert_identical(
+        get_machine("PI8"),
+        _micro_trace(micro),
+        scheme,
+        warmup=200,
+        expect_kernel=True,
+    )
+
+
+def test_kernel_tape_replay_identical():
+    """The second compiled run on a trace replays the fetch-outcome tape
+    (no predictor objects touched) and must reproduce the first run —
+    and the reference — exactly."""
+    machine = get_machine("PI8")
+    trace = _trace("espresso")
+    before = dict(sim_kernel.stats)
+    first_sim = Simulator(
+        machine, trace, "interleaved_sequential", warmup=WARMUP
+    )
+    first = first_sim.run()
+    assert first_sim.kernel_used
+    second_sim = Simulator(
+        machine, trace, "interleaved_sequential", warmup=WARMUP
+    )
+    second = second_sim.run()
+    assert second_sim.kernel_used
+    assert sim_kernel.stats["tapes_recorded"] > before["tapes_recorded"]
+    assert sim_kernel.stats["tape_replays"] > before["tape_replays"]
+    _assert_stats_equal(second, first, "tape replay")
+    ref = Simulator(
+        machine, trace, "interleaved_sequential", warmup=WARMUP
+    ).run_reference()
+    _assert_stats_equal(second, ref, "tape replay vs reference")
 
 
 def test_equivalent_without_warmup():
     _assert_identical(
-        get_machine("PI8"), _trace("espresso"), "interleaved_sequential"
+        get_machine("PI8"),
+        _trace("espresso"),
+        "interleaved_sequential",
+        expect_kernel=True,
     )
 
 
@@ -75,7 +176,10 @@ def test_equivalent_with_recovery_at_retire():
     machine = dataclasses.replace(
         get_machine("PI4"), recovery_at_retire=True
     )
-    _assert_identical(machine, _trace("li"), "sequential", warmup=WARMUP)
+    _assert_identical(
+        machine, _trace("li"), "sequential", warmup=WARMUP,
+        expect_kernel=True,
+    )
 
 
 def test_equivalent_with_conservative_memory_ordering():
@@ -83,7 +187,8 @@ def test_equivalent_with_conservative_memory_ordering():
         get_machine("PI4"), memory_ordering="conservative"
     )
     _assert_identical(
-        machine, _trace("espresso"), "collapsing_buffer", warmup=WARMUP
+        machine, _trace("espresso"), "collapsing_buffer", warmup=WARMUP,
+        expect_kernel=True,
     )
 
 
@@ -94,11 +199,109 @@ def test_equivalent_with_wrong_path_fetch():
         "banked_sequential",
         warmup=WARMUP,
         wrong_path_fetch=True,
+        expect_kernel=False,  # the kernel declines wrong-path fetch
     )
 
 
 def test_equivalent_with_shifter_penalty():
     machine = get_machine("PI12").with_fetch_penalty(3)
     _assert_identical(
-        machine, _trace("espresso"), "collapsing_buffer", warmup=WARMUP
+        machine, _trace("espresso"), "collapsing_buffer", warmup=WARMUP,
+        expect_kernel=True,
     )
+
+
+# -- kernel fallback paths ----------------------------------------------------
+
+
+def _reference_stats(machine, trace, scheme, **kwargs):
+    sim = Simulator(machine, trace, scheme, **kwargs)
+    return sim.run_reference(), sim
+
+
+def test_sanitize_falls_back_to_interpreted_loop():
+    """A sanitized run silently uses the interpreted loop — decline
+    recorded, statistics bit-identical to the plain reference."""
+    machine = get_machine("PI4")
+    trace = _trace("espresso")
+    sim = Simulator(
+        machine, trace, "collapsing_buffer", warmup=WARMUP, sanitize=True
+    )
+    stats = sim.run()
+    assert not sim.kernel_used
+    assert sim.kernel_decline_reason == "sanitize"
+    ref, _ = _reference_stats(
+        machine, trace, "collapsing_buffer", warmup=WARMUP
+    )
+    _assert_stats_equal(stats, ref, "sanitize fallback")
+
+
+def test_telemetry_falls_back_to_interpreted_loop():
+    """A telemetry run declines the kernel; counted statistics stay
+    identical (``extra`` carries the attribution payload)."""
+    machine = get_machine("PI4")
+    trace = _trace("espresso")
+    sim = Simulator(
+        machine, trace, "collapsing_buffer", warmup=WARMUP, telemetry=True
+    )
+    stats = sim.run()
+    assert not sim.kernel_used
+    assert sim.kernel_decline_reason == "telemetry"
+    assert stats.extra  # attribution recorded
+    ref, _ = _reference_stats(
+        machine, trace, "collapsing_buffer", warmup=WARMUP
+    )
+    _assert_stats_equal(stats, ref, "telemetry fallback")
+
+
+def test_kernel_flag_false_forces_interpreted_loop():
+    machine = get_machine("PI4")
+    trace = _trace("li")
+    sim = Simulator(machine, trace, "sequential", warmup=WARMUP, kernel=False)
+    stats = sim.run()
+    assert not sim.kernel_used
+    assert sim.kernel_decline_reason == "disabled"
+    ref, _ = _reference_stats(machine, trace, "sequential", warmup=WARMUP)
+    _assert_stats_equal(stats, ref, "kernel=False")
+
+
+def test_env_knob_disables_kernel(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "0")
+    machine = get_machine("PI4")
+    trace = _trace("li")
+    sim = Simulator(machine, trace, "sequential", warmup=WARMUP)
+    stats = sim.run()
+    assert not sim.kernel_used
+    assert sim.kernel_decline_reason == "disabled"
+    ref, _ = _reference_stats(machine, trace, "sequential", warmup=WARMUP)
+    _assert_stats_equal(stats, ref, "REPRO_KERNEL=0")
+
+
+def test_unvetted_scheme_declines():
+    """Schemes outside the vetted set decline with a scheme: reason and
+    still produce reference-identical statistics."""
+    from repro.fetch.factory import ALL_SCHEMES
+
+    unvetted = [
+        s
+        for s in ALL_SCHEMES
+        if s
+        not in (
+            "sequential",
+            "interleaved_sequential",
+            "banked_sequential",
+            "collapsing_buffer",
+            "perfect",
+        )
+    ]
+    if not unvetted:
+        pytest.skip("every scheme is kernel-vetted")
+    machine = get_machine("PI8")
+    trace = _trace("espresso")
+    scheme = unvetted[0]
+    sim = Simulator(machine, trace, scheme, warmup=WARMUP)
+    stats = sim.run()
+    assert not sim.kernel_used
+    assert sim.kernel_decline_reason.startswith("scheme:")
+    ref, _ = _reference_stats(machine, trace, scheme, warmup=WARMUP)
+    _assert_stats_equal(stats, ref, f"unvetted scheme {scheme}")

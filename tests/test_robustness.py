@@ -260,6 +260,35 @@ class TestSupervisorChaos:
         assert report.results == run_batch(jobs, processes=1)
         assert all(o.status in ("ok", "retried") for o in report.outcomes)
 
+    def test_injected_kernel_fault_degrades_to_interpreted_loop(self):
+        # The compiled kernel's chaos contract: an injected ``sim.kernel``
+        # fault must not fail or corrupt the run — ``Simulator.run()``
+        # falls back to the interpreted loop with bit-identical results.
+        from repro.machines.presets import get_machine
+        from repro.sim.simulator import Simulator
+        from repro.workloads.suite import load_workload
+        from repro.workloads.trace import generate_trace
+
+        workload = load_workload("ora")
+        trace = generate_trace(workload.program, workload.behavior, 3000)
+        machine = get_machine("PI4")
+
+        disarm()
+        clean_sim = Simulator(machine, trace, "sequential", warmup=800)
+        clean = clean_sim.run()
+        assert clean_sim.kernel_used
+
+        arm("seed=5;sim.kernel=exc")
+        try:
+            faulted_sim = Simulator(machine, trace, "sequential", warmup=800)
+            faulted = faulted_sim.run()
+        finally:
+            disarm()
+        assert not faulted_sim.kernel_used
+        assert faulted_sim.kernel_decline_reason == "fault-injected"
+        assert faulted == clean
+        assert faulted_sim._snapshot == clean_sim._snapshot
+
     def test_faults_off_results_unchanged(self):
         # With the harness disarmed the engine must behave like the
         # plain batch runner: identical results, all-ok outcomes.
