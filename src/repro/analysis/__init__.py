@@ -1,0 +1,49 @@
+"""Repo-wide AST-driven static analysis (``repro lint``).
+
+Where :mod:`repro.check` verifies the *artifacts* the simulator consumes
+(programs, configs, traces, fetch packets), this package verifies the
+*codebase itself*: the invariants that past PRs discovered the hard way
+are machine-checked here so the scenario matrix can keep growing without
+re-finding them.
+
+Analyzers, each with stable ``A0xx`` finding codes (``A001``–``A009``
+are reserved by ``repro.check`` for matrix resolution):
+
+* :mod:`repro.analysis.knob_registry` (A010–A013) — every ``REPRO_*``
+  environment knob is declared in :mod:`repro.knobs`, read only through
+  its accessors, and cache-salted unless exempted with a reason (the
+  PR 2/3/6 cache-aliasing bug class).
+* :mod:`repro.analysis.concurrency` (A020–A022) — no shared
+  ``multiprocessing.Queue`` result channels (the PR 5 deadlock shape),
+  no blocking calls inside ``async def`` bodies, consistent lock
+  acquisition order.
+* :mod:`repro.analysis.fault_sites` (A030–A032) — the fault-injection
+  sites in the code, the declared list in :data:`repro.faults.SITES`
+  and the chaos test suites all agree.
+* :mod:`repro.analysis.error_codes` (A040–A043) — every stable
+  diagnostic code (P/C/T/K/S/A) is unique, documented and referenced by
+  at least one test.
+
+Run with ``python -m repro lint`` (``--json`` for machine-readable
+output); accepted pre-existing findings live in the committed
+``lint_baseline.json``.  See ``docs/linting.md``.
+"""
+
+from repro.analysis.api import AnalysisReport, ANALYZERS, run_lint
+from repro.analysis.findings import (
+    ANALYSIS_CODES,
+    Baseline,
+    Finding,
+)
+from repro.analysis.project import Project, ProjectConfig
+
+__all__ = [
+    "ANALYSIS_CODES",
+    "ANALYZERS",
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "Project",
+    "ProjectConfig",
+    "run_lint",
+]

@@ -1,0 +1,97 @@
+"""Entry point: run every analyzer, apply the baseline, report.
+
+``run_lint`` is what the ``repro lint`` CLI and the test suite call;
+``AnalysisReport`` mirrors the feel of ``repro.check.CheckReport`` —
+``ok``, a renderable summary and a JSON form — so both verification
+layers read the same from CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis import concurrency, error_codes, fault_sites, knob_registry
+from repro.analysis.findings import Baseline, Finding
+from repro.analysis.project import Project, ProjectConfig
+
+#: Analyzer registry: name -> callable(Project) -> list[Finding].  Order
+#: is report order.
+ANALYZERS: dict[str, Callable[[Project], list[Finding]]] = {
+    "knob-registry": knob_registry.analyze,
+    "concurrency": concurrency.analyze,
+    "fault-sites": fault_sites.analyze,
+    "error-codes": error_codes.analyze,
+}
+
+
+@dataclass(slots=True)
+class AnalysisReport:
+    """Outcome of one lint run over one project."""
+
+    root: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    warnings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no *new* error-severity finding remains."""
+        return not self.findings
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for finding in self.findings:
+            lines.append(str(finding))
+        for finding in self.warnings:
+            lines.append(f"{finding} (warning)")
+        lines.append(
+            f"repro lint: {len(self.findings)} finding(s), "
+            f"{len(self.warnings)} warning(s), "
+            f"{len(self.suppressed)} baselined, "
+            f"{self.files_scanned} files scanned"
+        )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "findings": [f.as_dict() for f in self.findings],
+            "warnings": [f.as_dict() for f in self.warnings],
+            "suppressed": [f.as_dict() for f in self.suppressed],
+        }
+
+
+def run_lint(
+    root: Path | str,
+    config: ProjectConfig | None = None,
+    baseline: Baseline | None = None,
+    analyzers: dict[str, Callable[[Project], list[Finding]]] | None = None,
+) -> AnalysisReport:
+    """Run *analyzers* (default: all) over the tree at *root*.
+
+    Error-severity findings whose fingerprint the *baseline* lists are
+    moved to ``report.suppressed``; warnings are never baselined and
+    never fail the run.
+    """
+    project = Project(root, config)
+    baseline = baseline or Baseline()
+    report = AnalysisReport(root=str(project.root))
+    report.files_scanned = len(project.source_files())
+    collected: list[Finding] = []
+    for run in (analyzers or ANALYZERS).values():
+        collected.extend(run(project))
+    for finding in sorted(
+        collected, key=lambda f: (f.path, f.line, f.code, f.subject)
+    ):
+        if finding.severity == "warning":
+            report.warnings.append(finding)
+        elif baseline.suppresses(finding):
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+    return report

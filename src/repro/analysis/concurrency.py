@@ -1,0 +1,240 @@
+"""Concurrency lints (A020–A022).
+
+Three bug shapes this repository has actually hit (or exists to avoid):
+
+* **A020** — a shared ``multiprocessing.Queue`` used as a result
+  channel.  A worker that crashes mid-``put`` leaves the queue's feeder
+  lock held and deadlocks every other producer — the PR 5 supervisor
+  rewrite replaced these with per-worker ``SimpleQueue`` channels
+  (lock-free pipe), and this lint keeps them out.  ``SimpleQueue`` is
+  explicitly allowed.
+* **A021** — a blocking call (``time.sleep``, ``open``,
+  ``subprocess.*``, …) directly inside an ``async def`` body, stalling
+  the event loop.  Nested synchronous ``def``/``lambda`` bodies are out
+  of scope: handing them to an executor is the legitimate pattern.
+* **A022** — two locks observed nested in both orders across the
+  project (the classic AB/BA deadlock).  Lock-like objects are
+  recognised by name: the terminal identifier contains ``lock``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    Project,
+    dotted_name,
+    import_table,
+    resolve_call,
+)
+
+#: Queue constructors with a feeder thread + lock (the deadlock shape).
+_SHARED_QUEUE_CALLS = frozenset(
+    {"multiprocessing.Queue", "multiprocessing.JoinableQueue"}
+)
+_SHARED_QUEUE_METHODS = frozenset({"Queue", "JoinableQueue"})
+
+#: Resolved callee paths that block the calling thread.
+BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+    }
+)
+
+
+def _is_lock_like(name: str) -> bool:
+    return "lock" in name.rsplit(".", 1)[-1].lower()
+
+
+def _lock_name(expr: ast.expr) -> str | None:
+    """The identity of a ``with`` item if it names a lock, else None."""
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    name = dotted_name(expr)
+    if name is not None and _is_lock_like(name):
+        return name
+    return None
+
+
+@dataclass(frozen=True, slots=True)
+class _LockAcq:
+    """One observed 'acquire *inner* while holding *outer*' nesting."""
+
+    outer: str
+    inner: str
+    path: str
+    line: int
+
+
+def _context_queue_vars(tree: ast.Module, imports: dict[str, str]) -> set[str]:
+    """Names assigned from ``[multiprocessing.]get_context(...)`` calls —
+    calling ``.Queue()`` on them is the same shared-queue shape."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        resolved = resolve_call(node.value, imports)
+        if resolved is not None and resolved.split(".")[-1] == "get_context":
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _shared_queues(
+    project: Project, path, tree: ast.Module
+) -> list[Finding]:
+    imports = import_table(tree)
+    ctx_vars = _context_queue_vars(tree, imports)
+    rel = project.relative(path)
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        resolved = resolve_call(node, imports)
+        hit = resolved in _SHARED_QUEUE_CALLS
+        if not hit and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if (
+                node.func.attr in _SHARED_QUEUE_METHODS
+                and isinstance(base, ast.Name)
+                and base.id in ctx_vars
+            ):
+                hit = True
+        if hit:
+            constructor = resolved or f"<context>.{node.func.attr}"  # type: ignore[union-attr]
+            findings.append(
+                Finding(
+                    code="A020",
+                    path=rel,
+                    line=node.lineno,
+                    subject=constructor.rsplit(".", 1)[-1],
+                    message=(
+                        f"{constructor} has a feeder thread whose lock a "
+                        "crashed producer leaves held; use per-worker "
+                        "SimpleQueue channels instead"
+                    ),
+                )
+            )
+    return findings
+
+
+def _async_blocking(project: Project, path, tree: ast.Module) -> list[Finding]:
+    imports = import_table(tree)
+    rel = project.relative(path)
+    findings: list[Finding] = []
+
+    def scan(body: list[ast.stmt]) -> None:
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue  # its own scope; nested async defs get their own visit
+            if isinstance(node, ast.Call):
+                resolved = resolve_call(node, imports)
+                blocking = resolved in BLOCKING_CALLS or (
+                    resolved == "open" and "open" not in imports
+                )
+                if blocking:
+                    findings.append(
+                        Finding(
+                            code="A021",
+                            path=rel,
+                            line=node.lineno,
+                            subject=resolved or "call",
+                            message=(
+                                f"{resolved} blocks the event loop inside an "
+                                "async def; await an async equivalent or run "
+                                "it in an executor"
+                            ),
+                        )
+                    )
+            stack.extend(ast.iter_child_nodes(node))
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            scan(node.body)
+    return findings
+
+
+def _lock_nestings(project: Project, path, tree: ast.Module) -> list[_LockAcq]:
+    """Every (outer, inner) lock nesting observed in *tree*."""
+    rel = project.relative(path)
+    acquisitions: list[_LockAcq] = []
+
+    def visit(node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            names = [_lock_name(item.context_expr) for item in node.items]
+            for name in names:
+                if name is None:
+                    continue
+                for outer in held:
+                    if outer != name:
+                        acquisitions.append(
+                            _LockAcq(outer, name, rel, node.lineno)
+                        )
+                held = held + (name,)
+            for child in node.body:
+                visit(child, held)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            held = ()  # a new frame does not inherit the lexical lock stack
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    visit(tree, ())
+    return acquisitions
+
+
+def analyze(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    nestings: list[_LockAcq] = []
+    for path in project.source_files():
+        tree = project.tree(path)
+        if tree is None:
+            continue
+        findings.extend(_shared_queues(project, path, tree))
+        findings.extend(_async_blocking(project, path, tree))
+        nestings.extend(_lock_nestings(project, path, tree))
+
+    # A022 — an (A, B) nesting somewhere and a (B, A) nesting somewhere
+    # else is a deadlock waiting for the interleaving.
+    by_pair: dict[tuple[str, str], _LockAcq] = {}
+    for acq in nestings:
+        by_pair.setdefault((acq.outer, acq.inner), acq)
+    reported: set[tuple[str, str]] = set()
+    for (outer, inner), acq in sorted(by_pair.items()):
+        reverse = by_pair.get((inner, outer))
+        if reverse is None:
+            continue
+        pair = tuple(sorted((outer, inner)))
+        if pair in reported:
+            continue
+        reported.add(pair)
+        findings.append(
+            Finding(
+                code="A022",
+                path=acq.path,
+                line=acq.line,
+                subject=f"{pair[0]}<->{pair[1]}",
+                message=(
+                    f"{outer} is taken before {inner} here, but "
+                    f"{reverse.path}:{reverse.line} takes them in the "
+                    "opposite order; pick one order everywhere"
+                ),
+            )
+        )
+    return findings

@@ -1,0 +1,177 @@
+"""Error-code discipline (A040–A043).
+
+The repository's contract for diagnostics is *stable codes*: every
+failure a checker or analyzer can report carries a short code
+(``P001``, ``K007``, ``A011``, …) that tests assert on and docs
+explain.  That contract only holds if the catalogues, the docs and the
+tests stay in sync, across *all* catalogues as one namespace — which is
+how the ``repro.check`` matrix codes (``A001``–``A009``) and the
+``repro lint`` codes (``A010``+) share the ``A`` prefix without
+colliding.
+
+* **A040** — a code is defined more than once (same or different
+  catalogue).
+* **A041** — a defined code is mentioned nowhere in the docs.
+* **A042** — a defined code is referenced by no test (nothing pins the
+  rule's behaviour).
+* **A043** (warning) — the docs mention a code that no catalogue
+  defines (typo, or the rule was removed without updating the docs).
+
+A catalogue is any top-level ``dict`` assigned to a ``*CODES`` name
+whose keys are ``Letter+3digits`` string literals.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, assigned_names
+
+#: Shape of a stable diagnostic code.
+CODE_RE = re.compile(r"^[A-Z]\d{3}$")
+
+#: Doc tokens considered code references (restricted to the prefixes
+#: the repository actually allocates, to avoid flagging e.g. ruff rule
+#: ids quoted in the docs).
+DOC_TOKEN_RE = re.compile(r"\b[PCTKSA]\d{3}\b")
+
+#: The end of a reservation range like ``A001–A009`` names a boundary,
+#: not a defined code; such tokens are not stale references.
+RANGE_END_RE = re.compile(r"[PCTKSA]\d{3}`?\s*[-–—]\s*`?([PCTKSA]\d{3})")
+
+
+@dataclass(frozen=True, slots=True)
+class CodeDef:
+    """One code defined in one catalogue."""
+
+    code: str
+    path: str
+    line: int
+    catalogue: str
+
+
+def collect_definitions(project: Project) -> list[CodeDef]:
+    """Every stable code defined by a ``*CODES`` dict in the source."""
+    defs: list[CodeDef] = []
+    for path in project.source_files():
+        tree = project.tree(path)
+        if tree is None:
+            continue
+        rel = project.relative(path)
+        for node in tree.body:
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            names = [n for n in assigned_names(node) if n.endswith("CODES")]
+            if not names or not isinstance(node.value, ast.Dict):
+                continue
+            for key in node.value.keys:
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and CODE_RE.match(key.value)
+                ):
+                    defs.append(
+                        CodeDef(
+                            code=key.value,
+                            path=rel,
+                            line=key.lineno,
+                            catalogue=names[0],
+                        )
+                    )
+    return defs
+
+
+def analyze(project: Project) -> list[Finding]:
+    defs = collect_definitions(project)
+    findings: list[Finding] = []
+
+    # A040 — duplicates across the whole namespace.
+    by_code: dict[str, list[CodeDef]] = {}
+    for d in defs:
+        by_code.setdefault(d.code, []).append(d)
+    for code, entries in sorted(by_code.items()):
+        if len(entries) > 1:
+            first, *rest = entries
+            others = ", ".join(f"{e.path}:{e.line}" for e in rest)
+            findings.append(
+                Finding(
+                    code="A040",
+                    path=first.path,
+                    line=first.line,
+                    subject=code,
+                    message=(
+                        f"{code} is defined in {first.catalogue} here and "
+                        f"again at {others}; stable codes are one namespace"
+                    ),
+                )
+            )
+
+    doc_text = {
+        project.relative(p): p.read_text() for p in project.doc_files()
+    }
+    test_text = {
+        project.relative(p): p.read_text() for p in project.test_files()
+    }
+
+    # A041 / A042 — every defined code must be documented and tested.
+    for code in sorted(by_code):
+        anchor = by_code[code][0]
+        if not any(code in text for text in doc_text.values()):
+            findings.append(
+                Finding(
+                    code="A041",
+                    path=anchor.path,
+                    line=anchor.line,
+                    subject=code,
+                    message=(
+                        f"{code} is not documented anywhere under "
+                        "docs/ or README.md"
+                    ),
+                )
+            )
+        if not any(code in text for text in test_text.values()):
+            findings.append(
+                Finding(
+                    code="A042",
+                    path=anchor.path,
+                    line=anchor.line,
+                    subject=code,
+                    message=(
+                        f"{code} is referenced by no test; nothing pins "
+                        "when this diagnostic fires"
+                    ),
+                )
+            )
+
+    # A043 — doc tokens with no definition (warning).
+    defined = set(by_code)
+    for rel, text in sorted(doc_text.items()):
+        seen: set[str] = set()
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            range_ends = {
+                m.span(1) for m in RANGE_END_RE.finditer(line)
+            }
+            for match in DOC_TOKEN_RE.finditer(line):
+                token = match.group()
+                if token in defined or token in seen:
+                    continue
+                if match.span() in range_ends:
+                    continue
+                seen.add(token)
+                findings.append(
+                    Finding(
+                        code="A043",
+                        path=rel,
+                        line=lineno,
+                        subject=token,
+                        message=(
+                            f"{token} is mentioned here but defined in no "
+                            "code catalogue (typo or removed rule?)"
+                        ),
+                        severity="warning",
+                    )
+                )
+    return findings

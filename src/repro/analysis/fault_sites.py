@@ -1,0 +1,163 @@
+"""Fault-site audit (A030–A032).
+
+:mod:`repro.faults` declares its injection sites in the machine-readable
+``SITES`` tuple; the call sites fire them via ``faults.decide(...)`` /
+``faults.maybe_fail(...)`` with a literal site name; and the chaos test
+suites claim to exercise every recovery path.  Those three views drift
+independently — a new injection point added without a chaos test is
+exactly the untested recovery path the harness exists to prevent — so
+this analyzer cross-checks them:
+
+* **A030** — a ``decide``/``maybe_fail`` call names a site that is not
+  declared in ``SITES``.
+* **A031** — a declared site is fired nowhere in the code (stale
+  declaration, or the injection point was lost in a refactor).
+* **A032** — a declared site is not mentioned by any chaos test file
+  (no test would notice the recovery path breaking).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    Project,
+    assigned_names,
+    const_str,
+    string_tuple,
+)
+
+#: Hook functions that fire a site (bare or as ``faults.<name>``).
+HOOK_NAMES = frozenset({"decide", "maybe_fail"})
+
+
+@dataclass(frozen=True, slots=True)
+class SiteUse:
+    """One injection-site firing observed in the source tree."""
+
+    site: str
+    path: str
+    line: int
+
+
+def declared_sites(project: Project) -> tuple[list[str], int]:
+    """``(sites, line)`` parsed from the faults module's ``SITES``
+    tuple; ``([], 0)`` when there is no declaration."""
+    faults = project.faults_file
+    if faults is None:
+        return [], 0
+    tree = project.tree(faults)
+    if tree is None:
+        return [], 0
+    for node in tree.body:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        if "SITES" not in assigned_names(node) or node.value is None:
+            continue
+        sites = string_tuple(node.value)
+        if sites is not None:
+            return sites, node.lineno
+    return [], 0
+
+
+def collect_uses(project: Project) -> list[SiteUse]:
+    """Every literal-site ``decide``/``maybe_fail`` call outside the
+    faults module itself (which dispatches on a variable)."""
+    faults = project.faults_file
+    uses: list[SiteUse] = []
+    for path in project.source_files():
+        if path == faults:
+            continue
+        tree = project.tree(path)
+        if tree is None:
+            continue
+        rel = project.relative(path)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            callee = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if callee not in HOOK_NAMES:
+                continue
+            site = const_str(node.args[0])
+            if site is not None:
+                uses.append(SiteUse(site=site, path=rel, line=node.lineno))
+    return uses
+
+
+def analyze(project: Project) -> list[Finding]:
+    sites, decl_line = declared_sites(project)
+    declared = set(sites)
+    uses = collect_uses(project)
+    faults_rel = (
+        project.relative(project.faults_file)
+        if project.faults_file is not None
+        else project.config.faults_basename
+    )
+    findings: list[Finding] = []
+
+    seen_undeclared: set[tuple[str, str]] = set()
+    for use in uses:
+        if use.site in declared:
+            continue
+        key = (use.site, use.path)
+        if key in seen_undeclared:
+            continue
+        seen_undeclared.add(key)
+        findings.append(
+            Finding(
+                code="A030",
+                path=use.path,
+                line=use.line,
+                subject=use.site,
+                message=(
+                    f"fault site {use.site!r} is fired here but not declared "
+                    f"in SITES ({faults_rel}); declare it and add chaos "
+                    "coverage"
+                ),
+            )
+        )
+
+    used = {u.site for u in uses}
+    chaos_files = project.chaos_test_files()
+    chaos_text = {
+        project.relative(p): p.read_text() for p in chaos_files
+    }
+    chaos_names = ", ".join(chaos_text) or "<none configured>"
+    for site in sites:
+        if site not in used:
+            findings.append(
+                Finding(
+                    code="A031",
+                    path=faults_rel,
+                    line=decl_line,
+                    subject=site,
+                    message=(
+                        f"declared fault site {site!r} is fired nowhere; "
+                        "remove the declaration or restore the injection "
+                        "point"
+                    ),
+                )
+            )
+        if not any(site in text for text in chaos_text.values()):
+            findings.append(
+                Finding(
+                    code="A032",
+                    path=faults_rel,
+                    line=decl_line,
+                    subject=site,
+                    message=(
+                        f"fault site {site!r} appears in no chaos test "
+                        f"({chaos_names}); its recovery path is unproven"
+                    ),
+                )
+            )
+    return findings

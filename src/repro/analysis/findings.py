@@ -1,0 +1,144 @@
+"""Finding records, the ``A0xx`` code catalogue, and baselines.
+
+Mirrors the shape of :mod:`repro.check.errors` — stable codes so tests
+and CI assert on *which* rule fired — but for codebase findings, which
+additionally carry a file location and a stable *fingerprint* used by
+the baseline (suppression) file.
+
+Fingerprints are ``code:path:subject`` — deliberately excluding the
+line number, so unrelated edits that shift a file do not churn the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Finding-code catalogue: code -> one-line rule description.  Codes
+#: A001–A009 are reserved by ``repro.check`` (matrix resolution); the
+#: analyzer ranges start at A010.  The full rendered catalogue lives in
+#: ``docs/linting.md``.
+ANALYSIS_CODES: dict[str, str] = {
+    # -- env-knob registry (A01x) --
+    "A010": "environment knob read but not declared in the knob registry",
+    "A011": "knob declared cache-salted but missing from cache-key construction",
+    "A012": "knob declared in the registry but never read anywhere",
+    "A013": "environment knob read directly, bypassing the registry accessors",
+    # -- concurrency (A02x) --
+    "A020": "shared multiprocessing.Queue channel (crash-leaked feeder lock)",
+    "A021": "blocking call inside an async def body",
+    "A022": "locks acquired in inconsistent order across call sites",
+    # -- fault-site audit (A03x) --
+    "A030": "fault-injection site fired in code but not declared in faults.SITES",
+    "A031": "declared fault site never fired anywhere in the code",
+    "A032": "declared fault site not covered by any chaos test",
+    # -- error-code discipline (A04x) --
+    "A040": "stable diagnostic code defined more than once",
+    "A041": "stable diagnostic code not documented in the docs",
+    "A042": "stable diagnostic code not referenced by any test",
+    "A043": "code referenced in the docs but defined in no catalogue",
+}
+
+#: Codes reported as warnings: shown, but they neither fail ``repro
+#: lint`` nor require a baseline entry.
+WARNING_CODES = frozenset({"A043"})
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One static-analysis finding at a source location.
+
+    Attributes:
+        code: Catalogue key from :data:`ANALYSIS_CODES`.
+        path: File path relative to the project root (``/`` separators).
+        line: 1-based line number (0 when the finding is file-level).
+        subject: The stable thing found (knob name, site, code, lock
+            pair) — part of the baseline fingerprint.
+        message: Human-readable specifics of this occurrence.
+        severity: ``"error"`` or ``"warning"``.
+    """
+
+    code: str
+    path: str
+    line: int
+    subject: str
+    message: str
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.code not in ANALYSIS_CODES:
+            raise ValueError(f"unknown analysis code {self.code!r}")
+        if self.severity not in ("error", "warning"):
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        return f"{self.code}:{self.path}:{self.subject}"
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def __str__(self) -> str:
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location} [{self.code}] {self.subject}: {self.message}"
+
+
+#: Baseline file schema version.
+BASELINE_VERSION = 1
+
+
+@dataclass(slots=True)
+class Baseline:
+    """Accepted pre-existing findings, committed as a JSON file.
+
+    A finding whose fingerprint is listed here is *suppressed*: reported
+    in the summary count but not a CI failure.  The file is regenerated
+    with ``repro lint --write-baseline`` — the workflow is to fix new
+    findings, and to baseline one only with a reviewed justification.
+    """
+
+    fingerprints: set[str] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path | str | None) -> "Baseline":
+        """Read *path*; a missing or ``None`` path is an empty baseline."""
+        if path is None:
+            return cls()
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        payload = json.loads(path.read_text())
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{payload.get('version')!r}"
+            )
+        return cls(
+            fingerprints={
+                entry["fingerprint"] for entry in payload.get("suppressions", [])
+            }
+        )
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls(fingerprints={f.fingerprint for f in findings})
+
+    def suppresses(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.fingerprints
+
+    def write(self, path: Path | str, findings: list[Finding]) -> Path:
+        """Persist the error-severity *findings* as the new baseline."""
+        path = Path(path)
+        entries = sorted(
+            {f.fingerprint for f in findings if f.severity == "error"}
+        )
+        payload = {
+            "version": BASELINE_VERSION,
+            "suppressions": [{"fingerprint": fp} for fp in entries],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        self.fingerprints = set(entries)
+        return path

@@ -1,0 +1,210 @@
+"""The project under analysis: file discovery, parsed-AST cache, and
+the small AST utilities every analyzer shares.
+
+A :class:`Project` is rooted at a repository checkout with the
+conventional layout (``src/`` for package code, ``tests/``, ``docs/``).
+Analyzers never import the code they inspect — everything is
+``ast``-parsed — so ``repro lint`` can audit a tree that does not even
+import cleanly, and the test suite can aim the analyzers at tiny
+seeded-violation fixture trees.
+
+Special modules are located by basename (configurable via
+:class:`ProjectConfig`): the knob registry (``knobs.py``), the
+cache-key construction site (``cache.py``) and the fault-site
+declarations (``faults.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectConfig:
+    """Layout knobs for a project under analysis (defaults fit this
+    repository; fixtures override)."""
+
+    #: Package-source directory, relative to the root.
+    src: str = "src"
+    #: Test directory, relative to the root.
+    tests: str = "tests"
+    #: Documentation files/directories scanned for code references.
+    docs: tuple[str, ...] = ("docs", "README.md")
+    #: Test files that must exercise every declared fault site.
+    chaos_tests: tuple[str, ...] = (
+        "tests/test_robustness.py",
+        "tests/test_service.py",
+    )
+    #: Basename of the knob-registry module (declares ``KNOBS``).
+    registry_basename: str = "knobs.py"
+    #: Basename of the result-cache module (constructs cache keys).
+    cache_basename: str = "cache.py"
+    #: Basename of the fault-injection module (declares ``SITES``).
+    faults_basename: str = "faults.py"
+    #: Prefix of the environment knobs under registry control.
+    knob_prefix: str = "REPRO_"
+
+
+class Project:
+    """A parsed view of one source tree."""
+
+    def __init__(self, root: Path | str, config: ProjectConfig | None = None):
+        self.root = Path(root).resolve()
+        self.config = config or ProjectConfig()
+        self._trees: dict[Path, ast.Module | None] = {}
+
+    # -- discovery -----------------------------------------------------------
+
+    @property
+    def src_dir(self) -> Path:
+        return self.root / self.config.src
+
+    def source_files(self) -> list[Path]:
+        """Every ``.py`` file under the source directory, sorted."""
+        if not self.src_dir.is_dir():
+            return []
+        return sorted(self.src_dir.rglob("*.py"))
+
+    def test_files(self) -> list[Path]:
+        tests = self.root / self.config.tests
+        if not tests.is_dir():
+            return []
+        return sorted(tests.rglob("*.py"))
+
+    def doc_files(self) -> list[Path]:
+        found: list[Path] = []
+        for entry in self.config.docs:
+            path = self.root / entry
+            if path.is_dir():
+                found.extend(sorted(path.rglob("*.md")))
+            elif path.is_file():
+                found.append(path)
+        return found
+
+    def chaos_test_files(self) -> list[Path]:
+        return [
+            self.root / entry
+            for entry in self.config.chaos_tests
+            if (self.root / entry).is_file()
+        ]
+
+    def find_module(self, basename: str) -> Path | None:
+        """First source file with *basename* (sorted order), if any."""
+        matches = [p for p in self.source_files() if p.name == basename]
+        return matches[0] if matches else None
+
+    @property
+    def registry_file(self) -> Path | None:
+        return self.find_module(self.config.registry_basename)
+
+    @property
+    def cache_file(self) -> Path | None:
+        return self.find_module(self.config.cache_basename)
+
+    @property
+    def faults_file(self) -> Path | None:
+        return self.find_module(self.config.faults_basename)
+
+    # -- parsing -------------------------------------------------------------
+
+    def tree(self, path: Path) -> ast.Module | None:
+        """Parsed AST of *path* (memoised); ``None`` on a syntax error —
+        a broken file is the Python toolchain's problem, not a lint
+        finding."""
+        if path not in self._trees:
+            try:
+                self._trees[path] = ast.parse(
+                    path.read_text(), filename=str(path)
+                )
+            except (SyntaxError, OSError, UnicodeDecodeError):
+                self._trees[path] = None
+        return self._trees[path]
+
+    def relative(self, path: Path) -> str:
+        """Root-relative path with ``/`` separators (finding locations)."""
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+# -- shared AST utilities ------------------------------------------------------
+
+
+def import_table(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module/object paths they import.
+
+    ``import multiprocessing as mp`` -> ``{"mp": "multiprocessing"}``;
+    ``from os import environ`` -> ``{"environ": "os.environ"}``.  Only
+    module-level and function-level plain imports are recorded — enough
+    for the call-resolution the analyzers do.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                table[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    table[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                table[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return table
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve_call(node: ast.Call, imports: dict[str, str]) -> str | None:
+    """The fully-qualified dotted path of *node*'s callee, resolving the
+    leading name through *imports* (``mp.Queue`` -> issue
+    ``multiprocessing.Queue``)."""
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    resolved = imports.get(head, head)
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+def const_str(node: ast.expr) -> str | None:
+    """The value of a string-constant node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def assigned_names(node: ast.stmt) -> list[str]:
+    """Plain names bound by an Assign/AnnAssign statement."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        targets = [node.target]
+    return [t.id for t in targets if isinstance(t, ast.Name)]
+
+
+def string_tuple(node: ast.expr) -> list[str] | None:
+    """The elements of a tuple/list literal of string constants, else
+    ``None`` (non-literal or mixed contents)."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    values = [const_str(element) for element in node.elts]
+    if any(v is None for v in values):
+        return None
+    return [v for v in values if v is not None]

@@ -9,10 +9,12 @@ than string-matching messages.  Codes are grouped by layer:
 * ``Txxx`` — dynamic-trace legality,
 * ``Kxxx`` — fetch-packet (scheme capability) rules,
 * ``Sxxx`` — cycle-level pipeline sanitizer invariants,
-* ``Axxx`` — matrix-level resolution problems (unknown names).
+* ``Axxx`` — matrix-level resolution problems (unknown names).  This
+  module owns A001–A009; A010 and up are the ``repro lint`` codebase
+  analyzers (:mod:`repro.analysis.findings`), sharing the namespace.
 
 The full catalogue, with the paper sections each rule models, lives in
-``docs/checking.md``.
+``docs/checking.md`` (and ``docs/linting.md`` for the analyzer codes).
 """
 
 from __future__ import annotations

@@ -22,8 +22,7 @@ guarantee ``tests/test_check.py`` locks in.
 
 from __future__ import annotations
 
-import os
-
+from repro import knobs
 from repro.check.errors import CheckError, CheckFailure
 from repro.check.rules import SchemeRules, check_packet, rules_for
 from repro.core.rob import EntryState
@@ -35,16 +34,12 @@ DEFAULT_DEEP_PERIOD = 64
 
 def sanitize_enabled() -> bool:
     """True when ``REPRO_SANITIZE`` requests the opt-in sanitizer."""
-    return os.environ.get("REPRO_SANITIZE", "0") not in ("", "0")
+    return knobs.enabled("REPRO_SANITIZE")
 
 
 def deep_check_period() -> int:
     """Deep-pass period from ``REPRO_CHECK_DEEP_PERIOD`` (>= 1)."""
-    try:
-        period = int(os.environ.get("REPRO_CHECK_DEEP_PERIOD", ""))
-    except ValueError:
-        return DEFAULT_DEEP_PERIOD
-    return max(1, period)
+    return max(1, knobs.get_int("REPRO_CHECK_DEEP_PERIOD"))
 
 
 class PacketChecker:

@@ -24,6 +24,9 @@ Commands:
   refreshes ``BENCH_sim_throughput.json``, ``--floor N`` gates CI.
 * ``check`` — lint a benchmark x machine x scheme matrix with the
   ``repro.check`` verifiers (exit 1 on any violation).
+* ``lint`` — static analysis of the codebase itself with the
+  ``repro.analysis`` analyzers (knob registry, concurrency, fault
+  sites, error codes; exit 1 on any non-baselined finding).
 * ``serve`` — start the simulation service (HTTP/JSON job server over
   the supervised worker engine; see ``docs/service.md``).
 * ``loadgen`` — benchmark a running service and write
@@ -397,6 +400,34 @@ def _cmd_check(args: argparse.Namespace) -> int:
         f"{report.checks_run} checks: {len(report.errors)} error(s), "
         f"{len(report.warnings)} warning(s)"
     )
+    return 0 if report.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.analysis import Baseline, run_lint
+
+    root = Path(args.root)
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / "lint_baseline.json"
+    )
+    try:
+        baseline = Baseline.load(baseline_path)
+    except (ValueError, OSError) as exc:
+        print(f"repro lint: bad baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    report = run_lint(root, baseline=baseline)
+    if args.write_baseline:
+        written = baseline.write(baseline_path, report.findings)
+        count = len(report.findings)
+        print(f"wrote {count} suppression(s) to {written}")
+        return 0
+    if args.json:
+        print(_json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
     return 0 if report.ok else 1
 
 
@@ -853,6 +884,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="program variants to lint (orig reordered pad_all pad_trace)",
     )
     check.set_defaults(func=_cmd_check)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of the codebase (repro.analysis)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="repository root to analyze (default: current directory)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline file (default: ROOT/lint_baseline.json)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report on stdout",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     bench = sub.add_parser(
         "bench",

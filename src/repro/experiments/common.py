@@ -12,11 +12,10 @@ proportionally for higher-fidelity runs.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from repro import faults
+from repro import faults, knobs
 from repro.compiler import pad_all, pad_trace, reorder_program
 from repro.machines.config import MachineConfig
 from repro.machines.presets import MACHINES, get_machine
@@ -33,10 +32,7 @@ VARIANTS = ("orig", "reordered", "pad_all", "pad_trace")
 
 
 def _scale() -> float:
-    try:
-        return max(0.1, float(os.environ.get("REPRO_SCALE", "1")))
-    except ValueError:
-        return 1.0
+    return max(0.1, knobs.get_float("REPRO_SCALE"))
 
 
 @dataclass(frozen=True, slots=True)

@@ -79,8 +79,27 @@ import random
 import time
 from dataclasses import dataclass
 
+from repro import knobs
+
 #: Exit status of an injected worker crash (distinct from Python's 1).
 FAULT_EXIT_CODE = 70
+
+#: Every declared injection site, mirroring the table above.  This is
+#: the machine-readable site list the ``repro lint`` fault-site audit
+#: (:mod:`repro.analysis.fault_sites`) cross-checks: every
+#: ``decide``/``maybe_fail`` call in ``src/`` must name a site declared
+#: here (A030), every declared site must still be fired somewhere
+#: (A031), and every site must appear in the chaos test suites (A032).
+SITES = (
+    "batch.worker",
+    "sim.run",
+    "sim.kernel",
+    "sim.stats",
+    "cache.load",
+    "cache.store",
+    "service.queue",
+    "service.handoff",
+)
 
 #: Kinds whose effect this module performs (vs. advisory kinds the call
 #: site applies itself).
@@ -268,7 +287,7 @@ def plan() -> FaultPlan | None:
     ``None`` when fault injection is off."""
     global _plan, _parsed
     if not _parsed:
-        spec = os.environ.get("REPRO_FAULTS", "")
+        spec = knobs.raw("REPRO_FAULTS")
         _plan = parse_spec(spec) if spec else None
         _parsed = True
     return _plan

@@ -59,7 +59,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Callable
 
-from repro import faults
+from repro import faults, knobs
 
 #: Bump when the on-disk layout or pickle schema changes.
 FORMAT_VERSION = 1
@@ -130,7 +130,7 @@ _runtime_disabled = False
 def cache_enabled() -> bool:
     """False when the user disabled the cache via ``REPRO_CACHE=0`` or a
     full/unwritable cache filesystem disabled it for this process."""
-    return not _runtime_disabled and os.environ.get("REPRO_CACHE", "1") != "0"
+    return not _runtime_disabled and knobs.enabled("REPRO_CACHE")
 
 
 def _disable_for_process(exc: OSError) -> None:
@@ -156,7 +156,7 @@ def reset_runtime_disable() -> None:
 
 def cache_dir() -> Path:
     """Root directory for this format version's entries."""
-    root = os.environ.get("REPRO_CACHE_DIR")
+    root = knobs.raw("REPRO_CACHE_DIR")
     if root:
         base = Path(root)
     else:
@@ -188,19 +188,19 @@ def source_version() -> str:
 #: --sanitize`` runs the sanitizer instead of replaying an unsanitized
 #: cached result, and a ``REPRO_TELEMETRY=1`` run (whose ``SimStats``
 #: carry ``slot_*`` attribution in ``extra``) never serves — or is
-#: served by — a plain run's entry.
-_CHECK_ENV_KNOBS = (
-    "REPRO_SANITIZE",
-    "REPRO_CHECK_DEEP_PERIOD",
-    "REPRO_TELEMETRY",
-    "REPRO_KERNEL",
-)
+#: served by — a plain run's entry.  Derived from the central knob
+#: registry (:mod:`repro.knobs`): declaring a knob ``salted`` there puts
+#: it in every key *by construction*, which is what killed the
+#: forgotten-salt bug class of PRs 2/3/6 — and ``repro lint`` (A011)
+#: fails if this derivation is ever replaced by a hand-maintained tuple
+#: that misses one.
+_CHECK_ENV_KNOBS = knobs.salted_knobs()
 
 
 def _check_env_fingerprint() -> tuple:
-    """Current values of the check-relevant env knobs (fresh each call —
+    """Current values of the salted env knobs (fresh each call —
     ``sweep --sanitize`` flips them after this module is imported)."""
-    return tuple(os.environ.get(knob, "") for knob in _CHECK_ENV_KNOBS)
+    return knobs.fingerprint()
 
 
 def _entry_path(kind: str, key: tuple) -> Path:
@@ -305,10 +305,7 @@ _CLAIM_POLL_SECONDS = 0.02
 
 def claim_ttl() -> float:
     """Staleness TTL for claims (``REPRO_CACHE_CLAIM_TTL`` seconds)."""
-    try:
-        return max(0.1, float(os.environ.get("REPRO_CACHE_CLAIM_TTL", "")))
-    except ValueError:
-        return DEFAULT_CLAIM_TTL
+    return max(0.1, knobs.get_float("REPRO_CACHE_CLAIM_TTL"))
 
 
 def _claim_path(kind: str, key: tuple) -> Path:

@@ -69,8 +69,7 @@ format or replay-semantics change.
 
 from __future__ import annotations
 
-import os
-
+from repro import knobs
 from repro.branch.counters import WEAK_TAKEN
 from repro.fetch.banked import BankedSequentialFetch
 from repro.fetch.collapsing import CollapsingBufferFetch
@@ -144,12 +143,7 @@ reset_stats()
 def kernel_enabled() -> bool:
     """Environment default for the kernel (``REPRO_KERNEL``, on unless
     explicitly disabled)."""
-    return os.environ.get("REPRO_KERNEL", "").strip().lower() not in {
-        "0",
-        "off",
-        "false",
-        "no",
-    }
+    return knobs.enabled("REPRO_KERNEL")
 
 
 def decline_reason(sim) -> str | None:

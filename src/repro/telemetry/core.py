@@ -13,15 +13,16 @@ guarantee ``tests/test_telemetry.py`` locks in).
 
 from __future__ import annotations
 
-import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro import knobs
+
 
 def telemetry_enabled() -> bool:
     """True when ``REPRO_TELEMETRY`` requests telemetry by default."""
-    return os.environ.get("REPRO_TELEMETRY", "0") not in ("", "0")
+    return knobs.enabled("REPRO_TELEMETRY")
 
 
 @dataclass(slots=True)

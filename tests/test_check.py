@@ -6,6 +6,8 @@ tests), and the opt-in pipeline sanitizer — including the guarantee
 that a sanitized run produces bit-identical statistics.
 """
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.check import (
@@ -27,6 +29,7 @@ from repro.cli import main
 from repro.fetch.base import FetchPlan
 from repro.fetch.factory import HARDWARE_SCHEMES, create_fetch_unit
 from repro.machines.presets import PI4, PI8, get_machine
+from repro.program.basic_block import TermKind
 from repro.sim.simulator import Simulator
 from repro.workloads.suite import load_workload
 from repro.workloads.trace import generate_trace
@@ -333,6 +336,46 @@ class TestProgramChecks:
         finally:
             instr.address = original
 
+    def test_corrupt_fallthrough_flagged(self):
+        program, _ = _trace()
+        start = program.block_start
+        victim = next(
+            b for b in program.cfg.blocks if b.term_kind is TermKind.COND
+        )
+        expected = start[victim.block_id] + victim.size
+        decoy = next(
+            b for b in program.cfg.blocks if start[b.block_id] != expected
+        )
+        original = victim.fall_id
+        victim.fall_id = decoy.block_id
+        try:
+            codes = {e.code for e in check_program(program, roundtrip=False)}
+            assert "P003" in codes
+        finally:
+            victim.fall_id = original
+
+    def test_corrupt_encoding_flagged(self):
+        program, _ = _trace()
+        instr = next(i for i in program.instructions if not i.is_control)
+        original = instr.dest
+        instr.dest = 200  # beyond the 7-bit register field
+        try:
+            codes = {e.code for e in check_program(program)}
+            assert "P005" in codes
+        finally:
+            instr.dest = original
+
+    def test_broken_cfg_structure_flagged(self):
+        program, _ = _trace()
+        victim = program.cfg.conditional_blocks()[0]
+        original = victim.taken_id
+        victim.taken_id = 10_000  # no such block
+        try:
+            errors = check_program(program, roundtrip=False)
+            assert [e.code for e in errors] == ["P006"]
+        finally:
+            victim.taken_id = original
+
     def test_trace_is_legal(self):
         program, trace = _trace(length=3_000)
         assert check_trace(program, trace) == []
@@ -354,6 +397,57 @@ class TestProgramChecks:
         )
         codes = {e.code for e in check_trace(program, corrupt)}
         assert "T003" in codes
+
+    def test_illegal_conditional_successor_flagged(self):
+        program, trace = _trace(length=3_000)
+        instructions = list(trace.instructions)
+        cfg, start = program.cfg, program.block_start
+        # Repeat a conditional branch right after itself: its own address
+        # is neither the taken target nor the fall-through.
+        position = next(
+            i
+            for i, instr in enumerate(instructions[:-1])
+            if instr.is_control
+            and cfg.block(instr.block_id).term_kind is TermKind.COND
+            and start[cfg.block(instr.block_id).taken_id] != instr.address
+        )
+        corrupt = type(trace)(
+            name=trace.name,
+            seed=trace.seed,
+            instructions=instructions[: position + 1]
+            + [instructions[position]],
+        )
+        codes = {e.code for e in check_trace(program, corrupt)}
+        assert "T002" in codes
+
+    def test_corrupt_return_continuation_flagged(self):
+        program, trace = _trace(length=3_000)
+        instructions = list(trace.instructions)
+        cfg, start = program.cfg, program.block_start
+        # Walk the call stack exactly like the checker and cut the trace
+        # after a matched return, repeating the return itself: its own
+        # address cannot be the continuation its call pushed.
+        stack = []
+        position = None
+        for i, instr in enumerate(instructions[:-1]):
+            if not instr.is_control:
+                continue
+            block = cfg.block(instr.block_id)
+            if block.term_kind is TermKind.CALL:
+                stack.append(start[block.fall_id])
+            elif block.term_kind is TermKind.RET and stack:
+                if stack.pop() != instr.address:
+                    position = i
+                    break
+        assert position is not None, "no matched return in the trace"
+        corrupt = type(trace)(
+            name=trace.name,
+            seed=trace.seed,
+            instructions=instructions[: position + 1]
+            + [instructions[position]],
+        )
+        codes = {e.code for e in check_trace(program, corrupt)}
+        assert "T004" in codes
 
     def test_foreign_instruction_flagged(self):
         program, trace = _trace(length=500)
@@ -431,6 +525,42 @@ class TestSanitizer:
         with pytest.raises(CheckFailure) as info:
             sim.sanitizer.on_finish(0)  # nothing retired yet
         assert "S001" in info.value.codes
+
+    def test_negative_branch_counter_caught(self):
+        sim = _simulator(sanitize=True)
+        sim.core.unresolved_branches = -1
+        with pytest.raises(CheckFailure) as info:
+            sim.sanitizer.on_cycle(0, position=0, dispatch_head=0)
+        assert "S004" in info.value.codes
+
+    def test_rob_order_violation_caught(self):
+        sim = _simulator(sanitize=True)
+        # Two retirement-order entries with regressing sequence numbers.
+        sim.core.rob._entries.extend(
+            SimpleNamespace(
+                seq=seq, instruction=SimpleNamespace(op=None), state=None
+            )
+            for seq in (5, 3)
+        )
+        with pytest.raises(CheckFailure) as info:
+            sim.sanitizer._deep_check(0)
+        assert "S005" in info.value.codes
+
+    def test_rob_overflow_caught(self):
+        sim = _simulator(sanitize=True)
+        rob = sim.core.rob
+        rob._entries.extend([None] * (rob.capacity + 1))
+        with pytest.raises(CheckFailure) as info:
+            sim.sanitizer.on_cycle(0, position=0, dispatch_head=0)
+        assert "S006" in info.value.codes
+
+    def test_undrained_state_after_full_retire_caught(self):
+        sim = _simulator(sanitize=True)
+        sim.core.stats.retired = sim.sanitizer.total  # S001 satisfied
+        sim.core.window._occupied = 1  # but the window never drained
+        with pytest.raises(CheckFailure) as info:
+            sim.sanitizer.on_finish(0)
+        assert "S007" in info.value.codes
 
     def test_deep_period_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_CHECK_DEEP_PERIOD", "1")

@@ -44,8 +44,8 @@ def warm_taken(unit, address, target, times=2, unconditional=False):
         unit.train(instr, True, target)
 
 
-def prewarm(unit, blocks=range(0, 64)):
-    for block in blocks:
+def prewarm(unit, blocks=None):
+    for block in range(64) if blocks is None else blocks:
         unit.cache.fill(block)
 
 
@@ -406,7 +406,7 @@ class TestSchemeDominance:
             ):
                 unit = cls(PI4, trace)
                 prewarm(unit, range(0, 512))
-                for i, spec in enumerate(specs[:-1]):
+                for spec in specs[:-1]:
                     if spec[1] is OpClass.BR_COND:
                         warm_taken(unit, spec[0], spec[2])
                 deliveries.append(unit.fetch_cycle(0, 4).delivered)
