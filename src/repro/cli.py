@@ -31,6 +31,9 @@ Commands:
   the supervised worker engine; see ``docs/service.md``).
 * ``loadgen`` — benchmark a running service and write
   ``BENCH_service_throughput.json``.
+* ``trace`` — inspect spans recorded with ``REPRO_TRACE=1`` (or the
+  ``--trace DIR`` flag on ``sweep``/``serve``): list traces, render one
+  as a tree with a critical-path table, export Chrome/Perfetto JSON.
 * ``report`` — every paper artifact, in order.
 """
 
@@ -446,6 +449,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # Env (not a flag threaded through SimJob) so worker processes
         # inherit it; the result-cache digest includes this knob.
         os.environ["REPRO_SANITIZE"] = "1"
+    if args.trace is not None:
+        _activate_tracing(args.trace)
     telemetry = args.telemetry is not None
     benchmarks = tuple(args.benchmarks or ALL_BENCHMARKS)
     machines = tuple(args.machines or [m.name for m in MACHINES])
@@ -666,6 +671,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
 
+    if args.trace is not None:
+        _activate_tracing(args.trace)
     return serve(
         host=args.host,
         port=args.port,
@@ -689,6 +696,66 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         output=None if args.output == "-" else args.output,
     )
     return 0 if report["passed"] or not args.strict else 1
+
+
+def _activate_tracing(trace_dir: str) -> None:
+    """Turn on ``REPRO_TRACE`` (and the spill directory) via the
+    environment so worker processes inherit it — both knobs are
+    cache-exempt, so traced results stay bit-identical."""
+    import os
+    from pathlib import Path
+
+    from repro.telemetry import trace as tracing
+
+    os.environ["REPRO_TRACE"] = "1"
+    if trace_dir:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+        os.environ["REPRO_TRACE_DIR"] = trace_dir
+    tracing.reload()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.telemetry import timeline
+    from repro.telemetry import trace as tracing
+
+    directory = args.dir or tracing.trace_dir()
+    if not directory:
+        print(
+            "no trace directory: pass --dir DIR or set REPRO_TRACE_DIR",
+            file=sys.stderr,
+        )
+        return 2
+    spans = timeline.load_dir(directory)
+    if not spans:
+        print(f"no spans found under {directory}", file=sys.stderr)
+        return 1
+    if args.trace_id is None and not args.latest:
+        print(timeline.render_listing(spans))
+        return 0
+    if args.latest:
+        trace_id = timeline.trace_summaries(spans)[0]["trace_id"]
+    else:
+        trace_id = args.trace_id
+    try:
+        bucket = timeline.find_trace(spans, trace_id)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.chrome:
+        document = tracing.to_chrome(bucket)
+        problems = tracing.validate_chrome(document)
+        if problems:
+            for problem in problems:
+                print(f"chrome export: {problem}", file=sys.stderr)
+            return 1
+        Path(args.chrome).write_text(json.dumps(document) + "\n")
+        print(f"wrote {args.chrome} ({len(bucket)} spans)")
+    print(timeline.render_tree(bucket))
+    print(timeline.render_critical_path(bucket, top=args.top))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -860,6 +927,17 @@ def build_parser() -> argparse.ArgumentParser:
             "with DIR, write telemetry.jsonl + manifest.json there"
         ),
     )
+    sweep.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "trace the sweep (REPRO_TRACE=1); with DIR, spill spans "
+            "there for 'repro trace' (REPRO_TRACE_DIR)"
+        ),
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     check = sub.add_parser(
@@ -994,6 +1072,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="multiprocessing start method for workers",
     )
+    serve.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "trace every request (REPRO_TRACE=1); with DIR, spill spans "
+            "there for 'repro trace' (REPRO_TRACE_DIR)"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -1014,6 +1103,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if the throughput/latency floors are missed",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect recorded trace spans (timeline, critical path)",
+    )
+    trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace id (or unique prefix) to render; omit to list traces",
+    )
+    trace.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help="span spill directory (default: REPRO_TRACE_DIR)",
+    )
+    trace.add_argument(
+        "--latest",
+        action="store_true",
+        help="render the most recently started trace",
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows in the critical-path (self-time) table (default 10)",
+    )
+    trace.add_argument(
+        "--chrome",
+        metavar="OUT.json",
+        help="also export the trace as a Chrome/Perfetto trace-event file",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     report = sub.add_parser("report", help="all paper artifacts")
     report.add_argument("--scale", type=float, default=1.0)

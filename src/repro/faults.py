@@ -40,6 +40,7 @@ site                      fired from                   kinds
 ``cache.store``           result-cache store           ``oserror``
 ``service.queue``         service job admission        ``exc``
 ``service.handoff``       pool worker dispatch         ``exc``
+``telemetry.trace``       flight-recorder append       ``exc``
 ========================  ===========================  =========================
 
 The two ``service.*`` sites chaos-test the job server: an injected
@@ -49,7 +50,10 @@ job index + attempt, like ``batch.worker``) costs the dispatch one
 retry attempt without losing the accepted job.  ``sim.kernel`` is
 special: an injected fault there does not fail the run — it makes
 ``Simulator.run()`` degrade to the interpreted loop (decline reason
-``fault-injected``) with bit-identical statistics.
+``fault-injected``) with bit-identical statistics.  ``telemetry.trace``
+fires on every flight-recorder append and is likewise non-fatal by
+construction: an injected fault drops that span (counted in the
+recorder's ``dropped``) without ever failing the traced operation.
 
 Determinism: a *tokened* site (``batch.worker`` passes the job index as
 token and the retry attempt number) decides by hashing ``(seed, site,
@@ -99,6 +103,7 @@ SITES = (
     "cache.store",
     "service.queue",
     "service.handoff",
+    "telemetry.trace",
 )
 
 #: Kinds whose effect this module performs (vs. advisory kinds the call

@@ -164,6 +164,29 @@ KNOBS: tuple[KnobSpec, ...] = (
         ),
         description="multiplier on experiment trace lengths",
     ),
+    KnobSpec(
+        name="REPRO_TRACE",
+        type="bool",
+        default="0",
+        cache_policy="exempt",
+        reason=(
+            "tracing only records span timing around a run; it never "
+            "feeds back into what a simulation computes, so traced and "
+            "untraced runs produce bit-identical results"
+        ),
+        description="record distributed-tracing spans (flight recorder)",
+    ),
+    KnobSpec(
+        name="REPRO_TRACE_DIR",
+        type="str",
+        default="",
+        cache_policy="exempt",
+        reason=(
+            "selects where span spill files land, not what a simulation "
+            "computes; purely an export destination"
+        ),
+        description="directory for persistent span JSONL export",
+    ),
 )
 
 #: name -> spec, the lookup the accessors use.

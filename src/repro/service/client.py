@@ -9,6 +9,14 @@ load generator share one well-behaved access path:
 * ``run_job`` submits with ``?wait=`` long-polling and keeps polling
   past the server's per-request wait ceiling until the job is terminal,
   so callers never busy-loop.
+
+With ``REPRO_TRACE=1`` the client opens a ``client.request`` span per
+:meth:`~ServiceClient.run_job` (with ``client.submit``/``client.poll``
+children per HTTP round trip), sends its ``traceparent`` header so the
+server's spans join the same trace, and accumulates the
+``server_seconds`` each response reports into
+:attr:`~ServiceClient.last_run_server_seconds` — the number loadgen
+subtracts from client latency to expose queueing/network time.
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ import json
 import time
 from dataclasses import dataclass
 from typing import Any
+
+from repro.telemetry import trace as tracing
 
 
 class ServiceError(RuntimeError):
@@ -59,6 +69,11 @@ class ServiceClient:
         self.backoff = backoff
         self.max_backoff = max_backoff
         self._conn: http.client.HTTPConnection | None = None
+        #: Total server-reported handling seconds across the HTTP
+        #: requests of the most recent :meth:`run_job` call.
+        self.last_run_server_seconds: float = 0.0
+        #: Trace id of the most recent :meth:`run_job` (None untraced).
+        self.last_trace_id: str | None = None
 
     # plumbing --------------------------------------------------------------
 
@@ -85,15 +100,14 @@ class ServiceClient:
     ) -> Response:
         conn = self._connection()
         payload = json.dumps(body).encode() if body is not None else None
+        headers = {}
+        if payload:
+            headers["Content-Type"] = "application/json"
+        traceparent = tracing.current_traceparent()
+        if traceparent:
+            headers["traceparent"] = traceparent
         try:
-            conn.request(
-                method,
-                path,
-                body=payload,
-                headers={"Content-Type": "application/json"}
-                if payload
-                else {},
-            )
+            conn.request(method, path, body=payload, headers=headers)
             raw = conn.getresponse()
             data = raw.read()
         except (http.client.HTTPException, OSError):
@@ -147,14 +161,16 @@ class ServiceClient:
     def submit(self, job: dict, wait: float = 0.0) -> dict:
         """Submit one job; returns the job record (maybe still running)."""
         path = "/v1/jobs" + (f"?wait={wait:g}" if wait > 0 else "")
-        response = self.request("POST", path, job)
+        with tracing.span("client.submit"):
+            response = self.request("POST", path, job)
         if response.status not in (200, 202):
             raise ServiceError(response.status, response.payload)
         return response.payload
 
     def poll(self, job_id: str, wait: float = 0.0) -> dict:
         path = f"/v1/jobs/{job_id}" + (f"?wait={wait:g}" if wait > 0 else "")
-        response = self.request("GET", path)
+        with tracing.span("client.poll"):
+            response = self.request("GET", path)
         if response.status not in (200, 202):
             raise ServiceError(response.status, response.payload)
         return response.payload
@@ -170,17 +186,30 @@ class ServiceClient:
         Raises :class:`JobFailed` if the simulation failed, or
         :class:`ServiceError` on timeout/rejection.
         """
-        record = self.submit(job, wait=wait)
-        stop = time.monotonic() + deadline
-        while record["status"] == "running":
-            if time.monotonic() > stop:
-                raise ServiceError(
-                    202, f"job {record['id']} still running after {deadline}s"
-                )
-            record = self.poll(record["id"], wait=wait)
+        self.last_run_server_seconds = 0.0
+        self.last_trace_id = None
+        with tracing.span("client.request") as sp:
+            if sp.span is not None:
+                self.last_trace_id = sp.span.trace_id
+            record = self.submit(job, wait=wait)
+            self._accumulate_server_seconds(record)
+            stop = time.monotonic() + deadline
+            while record["status"] == "running":
+                if time.monotonic() > stop:
+                    raise ServiceError(
+                        202,
+                        f"job {record['id']} still running after {deadline}s",
+                    )
+                record = self.poll(record["id"], wait=wait)
+                self._accumulate_server_seconds(record)
         if record["status"] == "failed":
             raise JobFailed(200, record)
         return record
+
+    def _accumulate_server_seconds(self, record: dict) -> None:
+        seconds = record.get("server_seconds")
+        if isinstance(seconds, (int, float)):
+            self.last_run_server_seconds += float(seconds)
 
     @staticmethod
     def _expect_ok(response: Response) -> dict:

@@ -16,6 +16,12 @@ Two-phase protocol:
 The report lands in ``BENCH_service_throughput.json`` next to the other
 benchmark artifacts, with the acceptance floors alongside the measured
 numbers so regressions are self-describing.
+
+Each request also records the **server-reported** handling time (the
+``server_seconds`` field every response carries, summed over the
+submit + polls of one job), so the report shows client latency, server
+time and their delta side by side — queueing and network time used to
+be invisible in the client-only numbers.
 """
 
 from __future__ import annotations
@@ -97,12 +103,14 @@ def run_loadgen(
 
     # Phase 2: timed closed loop.
     latencies: list[float] = []
+    server_seconds: list[float] = []
     errors: list[str] = []
     lock = threading.Lock()
     stop_at = time.monotonic() + duration
 
     def worker(offset: int) -> None:
         local: list[float] = []
+        local_server: list[float] = []
         local_errors: list[str] = []
         with ServiceClient(host, port) as client:
             index = offset
@@ -116,8 +124,10 @@ def run_loadgen(
                     local_errors.append(str(exc))
                     continue
                 local.append(time.monotonic() - started)
+                local_server.append(client.last_run_server_seconds)
         with lock:
             latencies.extend(local)
+            server_seconds.extend(local_server)
             errors.extend(local_errors)
 
     threads = [
@@ -136,6 +146,13 @@ def run_loadgen(
     p50 = _percentile(latencies, 0.50)
     p95 = _percentile(latencies, 0.95)
     p99 = _percentile(latencies, 0.99)
+    # Client latency minus server-reported handling time: what the
+    # request spent queued, on the wire, or in client-side backoff.
+    deltas = [
+        max(0.0, latency - server)
+        for latency, server in zip(latencies, server_seconds)
+    ]
+    delta_mean = sum(deltas) / len(deltas) if deltas else 0.0
     report = {
         "config": {
             "host": host,
@@ -155,6 +172,16 @@ def run_loadgen(
                 "p50": round(p50, 4),
                 "p95": round(p95, 4),
                 "p99": round(p99, 4),
+            },
+            "server_seconds": {
+                "p50": round(_percentile(server_seconds, 0.50), 4),
+                "p95": round(_percentile(server_seconds, 0.95), 4),
+                "p99": round(_percentile(server_seconds, 0.99), 4),
+            },
+            "client_server_delta_seconds": {
+                "mean": round(delta_mean, 4),
+                "p50": round(_percentile(deltas, 0.50), 4),
+                "p95": round(_percentile(deltas, 0.95), 4),
             },
         },
         "floors": {
@@ -179,6 +206,7 @@ def run_loadgen(
             f"({throughput:.1f} req/s), "
             f"p50={p50 * 1000:.1f}ms p95={p95 * 1000:.1f}ms "
             f"p99={p99 * 1000:.1f}ms "
+            f"client-server delta mean={delta_mean * 1000:.1f}ms "
             f"[{'PASS' if report['passed'] else 'FAIL'}: "
             f"floor {THROUGHPUT_FLOOR_RPS:.0f} req/s, "
             f"p99 <= {P99_CEILING_SECONDS * 1000:.0f}ms]"

@@ -34,6 +34,13 @@ VARIANTS = ("orig", "reordered", "pad_all", "pad_trace")
 #: cost, not a simulator limit (sweeps go longer via the CLI).
 MAX_LENGTH = 2_000_000
 
+#: Optional trace-context payload field: a W3C ``traceparent`` string
+#: joining the job's server-side spans to the client's trace.  It is
+#: *not* a job field — :func:`extract_traceparent` pops it before
+#: validation so trace context can never reach :class:`SimJob` (whose
+#: dict is the coalescing key, the journal key and the cache key).
+TRACEPARENT_FIELD = "traceparent"
+
 #: Payload keys :func:`validate_job` understands.
 FIELDS = (
     "benchmark",
@@ -48,6 +55,20 @@ FIELDS = (
     "telemetry",
     "kernel",
 )
+
+
+def extract_traceparent(payload: object) -> str | None:
+    """Pop the optional ``traceparent`` field off a request payload.
+
+    Returns the raw string (or ``None``); the field is *removed* so the
+    remaining payload is purely the job description.  Call before
+    :func:`validate_job`.
+    """
+    if isinstance(payload, dict):
+        value = payload.pop(TRACEPARENT_FIELD, None)
+        if isinstance(value, str) and value:
+            return value
+    return None
 
 
 class ValidationError(ValueError):

@@ -37,11 +37,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro import faults
-from repro.service.protocol import job_key, validate_job
+from repro.service.protocol import extract_traceparent, job_key, validate_job
 from repro.sim import cache as result_cache
 from repro.sim.batch import SimJob
 from repro.sim.supervisor import PoolDraining, PoolJobError, WorkerPool
 from repro.telemetry import MetricsRegistry
+from repro.telemetry import trace as tracing
 
 
 class QueueFull(RuntimeError):
@@ -76,6 +77,11 @@ class JobRecord:
     future: Any = None
     #: ``(loop, asyncio.Event)`` pairs to poke when the job finishes.
     waiters: list = field(default_factory=list)
+    #: Live ``service.job`` span handle (ended in ``_on_done``) and its
+    #: trace id, exposed to clients so ``repro trace <id>`` can find the
+    #: job's whole tree.  ``None`` while tracing is off.
+    trace: Any = None
+    trace_id: str | None = None
 
     def to_dict(self, include_result: bool = True) -> dict:
         from dataclasses import asdict
@@ -90,6 +96,8 @@ class JobRecord:
             ),
             "coalesced": self.coalesced,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
         if include_result:
             record["result"] = self.result
         if self.error is not None:
@@ -139,6 +147,9 @@ class JobScheduler:
         chaos site — all *before* the job is accepted, so an admitted
         job is never lost to any of them.
         """
+        # Trace context rides outside the job description: popped here
+        # so it can never perturb the coalescing / journal / cache key.
+        trace_parent = extract_traceparent(payload)
         job = validate_job(payload)
         key = job_key(job)
         with self._lock:
@@ -166,9 +177,24 @@ class JobScheduler:
             self._by_id[record.id] = record
             self._inflight[key] = record
             self.registry.inc("service.jobs_admitted")
+        # The job's root span: opened at admission, ended in _on_done.
+        # Parent precedence: explicit payload traceparent, else the
+        # ambient context (the server's service.request span).
+        if trace_parent is not None:
+            handle = tracing.start_span(
+                "service.job",
+                parent=tracing.parse_traceparent(trace_parent),
+                id=record.id,
+            )
+        else:
+            handle = tracing.start_span("service.job", id=record.id)
+        if handle.span is not None:
+            record.trace = handle
+            record.trace_id = handle.span.trace_id
         try:
-            future = self.pool.submit(job)
+            future = self.pool.submit(job, trace_parent=handle.traceparent())
         except PoolDraining:
+            handle.end(error="worker pool draining")
             with self._lock:
                 self._inflight.pop(key, None)
                 self._by_id.pop(record.id, None)
@@ -201,12 +227,16 @@ class JobScheduler:
                 record.outcome = exc.outcome.as_dict()
                 self._finish_locked(record, now)
                 self.registry.inc("service.jobs_failed")
+            if record.trace is not None:
+                record.trace.end(error=record.error)
         except BaseException as exc:
             with self._lock:
                 record.status = "failed"
                 record.error = f"{type(exc).__name__}: {exc}"
                 self._finish_locked(record, now)
                 self.registry.inc("service.jobs_failed")
+            if record.trace is not None:
+                record.trace.end(error=record.error)
         else:
             with self._lock:
                 record.status = "done"
@@ -222,6 +252,8 @@ class JobScheduler:
                     self._ewma_seconds = (
                         0.7 * self._ewma_seconds + 0.3 * elapsed
                     )
+            if record.trace is not None:
+                record.trace.end()
         waiters, record.waiters = record.waiters, []
         for loop, event in waiters:
             loop.call_soon_threadsafe(event.set)

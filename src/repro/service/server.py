@@ -22,6 +22,16 @@ status  meaning
 (bounded by ``max_wait``), so a synchronous client costs one round
 trip.  ``SIGTERM``/``SIGINT`` trigger a graceful drain: intake stops
 (503), in-flight jobs finish, workers join, then the listener closes.
+
+Observability: ``/metrics`` serves JSON by default and the Prometheus
+text exposition with ``?format=prom`` (or an ``Accept`` preferring
+``text/plain``).  With ``REPRO_TRACE=1`` every request is a
+``service.request`` span joining the caller's ``traceparent`` (echoed
+back as a response header), every dict response carries
+``server_seconds`` (this request's handling time), and
+``/v1/traces/<id>`` returns one trace's spans from the server's flight
+recorder — worker spans included, since they ship back with each job
+result.  See ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -30,11 +40,15 @@ import asyncio
 import json
 import signal
 import sys
+import time
 from urllib.parse import parse_qs, urlsplit
 
 from repro.faults import FaultInjected
 from repro.service.protocol import ValidationError
 from repro.service.scheduler import Draining, JobScheduler, QueueFull
+from repro.telemetry import timeline
+from repro.telemetry import trace as tracing
+from repro.telemetry.export import to_prometheus
 
 _REASONS = {
     200: "OK",
@@ -156,15 +170,23 @@ class ServiceServer:
                     break
                 if length:
                     body = await reader.readexactly(length)
+                started = time.monotonic()
                 try:
                     status, payload, extra = await self._route(
-                        method.upper(), target, body
+                        method.upper(), target, body, headers
                     )
                 except Exception as exc:  # noqa: BLE001 - last-resort 500
                     status, payload, extra = (
                         500,
                         {"error": f"{type(exc).__name__}: {exc}"},
                         [],
+                    )
+                if isinstance(payload, dict):
+                    # Server-side handling time for this very request —
+                    # what loadgen subtracts from client latency to make
+                    # network + queueing visible.
+                    payload.setdefault(
+                        "server_seconds", round(time.monotonic() - started, 6)
                     )
                 close = (
                     headers.get("connection", "").lower() == "close"
@@ -202,14 +224,20 @@ class ServiceServer:
     async def _respond(
         writer,
         status: int,
-        payload: dict,
+        payload: object,
         extra_headers: list[tuple[str, str]] | None = None,
         close: bool = False,
     ) -> None:
-        body = (json.dumps(payload) + "\n").encode()
+        if isinstance(payload, str):
+            # Plain-text exposition (Prometheus /metrics).
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = (json.dumps(payload) + "\n").encode()
+            content_type = "application/json"
         head = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: " + ("close" if close else "keep-alive"),
         ]
@@ -221,8 +249,38 @@ class ServiceServer:
     # routing ---------------------------------------------------------------
 
     async def _route(
-        self, method: str, target: str, body: bytes
-    ) -> tuple[int, dict, list[tuple[str, str]]]:
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, object, list[tuple[str, str]]]:
+        """Dispatch one request; with tracing on, wrapped in a
+        ``service.request`` span that joins the client's trace (incoming
+        ``traceparent`` header) and is echoed back as a ``traceparent``
+        response header so clients learn their trace id."""
+        headers = headers or {}
+        if not tracing.tracing_enabled():
+            return await self._route_inner(method, target, body, headers)
+        parent = tracing.parse_traceparent(headers.get("traceparent"))
+        with tracing.span(
+            "service.request",
+            parent=parent,
+            method=method,
+            path=urlsplit(target).path,
+        ) as sp:
+            status, payload, extra = await self._route_inner(
+                method, target, body, headers
+            )
+            sp.set(status=status)
+            echo = sp.traceparent()
+            if echo:
+                extra = list(extra) + [("traceparent", echo)]
+            return status, payload, extra
+
+    async def _route_inner(
+        self, method: str, target: str, body: bytes, headers: dict[str, str]
+    ) -> tuple[int, object, list[tuple[str, str]]]:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
         query = parse_qs(split.query)
@@ -232,7 +290,10 @@ class ServiceServer:
         if path == "/healthz" and method == "GET":
             return 200, self.scheduler.health(), []
         if path == "/metrics" and method == "GET":
-            return 200, self.scheduler.metrics(), []
+            tree = self.scheduler.metrics()
+            if self._wants_prometheus(query, headers):
+                return 200, to_prometheus(tree), []
+            return 200, tree, []
         if path == "/v1/jobs" and method == "POST":
             return await self._submit_one(body, query)
         if path == "/v1/batch" and method == "POST":
@@ -241,9 +302,48 @@ class ServiceServer:
             return 200, {"jobs": self.scheduler.jobs()}, []
         if path.startswith("/v1/jobs/") and method == "GET":
             return await self._poll(path[len("/v1/jobs/"):], query)
-        if path in ("/healthz", "/metrics", "/v1/jobs", "/v1/batch"):
+        if path == "/v1/traces" and method == "GET":
+            spans = tracing.recorder.spans()
+            return 200, {"traces": timeline.trace_summaries(spans)}, []
+        if path.startswith("/v1/traces/") and method == "GET":
+            return self._trace(path[len("/v1/traces/"):])
+        if path in ("/healthz", "/metrics", "/v1/jobs", "/v1/batch", "/v1/traces"):
             return 405, {"error": f"method {method} not allowed"}, []
         return 404, {"error": f"no route for {path}"}, []
+
+    @staticmethod
+    def _wants_prometheus(query: dict, headers: dict[str, str]) -> bool:
+        """``?format=prom`` or an Accept preferring text/plain selects
+        the Prometheus exposition; JSON stays the default."""
+        requested = query.get("format", [""])[0].lower()
+        if requested in ("prom", "prometheus", "text"):
+            return True
+        if requested:  # explicit ?format=json (or anything else)
+            return False
+        accept = headers.get("accept", "")
+        return "text/plain" in accept and "application/json" not in accept
+
+    def _trace(self, trace_id: str) -> tuple[int, dict, list[tuple[str, str]]]:
+        """One trace's spans from the server's flight recorder (worker
+        spans included — they ship back with each job result)."""
+        if not tracing.tracing_enabled():
+            return (
+                404,
+                {"error": "tracing is off (set REPRO_TRACE=1)"},
+                [],
+            )
+        spans = tracing.recorder.find(trace_id)
+        if not spans:
+            return 404, {"error": f"unknown trace {trace_id!r}"}, []
+        spans.sort(key=lambda s: s.start)
+        return (
+            200,
+            {
+                "trace_id": spans[0].trace_id,
+                "spans": [span.as_dict() for span in spans],
+            },
+            [],
+        )
 
     def _wait_seconds(self, query: dict) -> float:
         try:
@@ -380,6 +480,7 @@ def serve(
     from repro.sim.batch import _run_job
     from repro.sim.supervisor import SupervisorConfig, WorkerPool
 
+    tracing.set_process_role("server")
     pool = WorkerPool(
         _run_job,
         processes=workers,

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 from repro.sim import cache as result_cache
 from repro.sim.stats import SimStats
+from repro.telemetry import trace as tracing
 from repro.sim.supervisor import (
     BatchError,
     JobOutcome,
@@ -153,15 +154,18 @@ def run_batch(
     """
     if not jobs:
         return []
-    return run_supervised(
-        jobs,
-        _run_job,
-        processes=processes,
-        requested_start_method=start_method,
-        config=config,
-        journal=journal,
-        completed=completed,
-    ).results
+    # Sweep-level root span: every job's batch.job span (parent or
+    # worker process) hangs off this one trace.
+    with tracing.span("batch.run", jobs=len(jobs)):
+        return run_supervised(
+            jobs,
+            _run_job,
+            processes=processes,
+            requested_start_method=start_method,
+            config=config,
+            journal=journal,
+            completed=completed,
+        ).results
 
 
 def run_batch_report(
@@ -188,15 +192,16 @@ def run_batch_report(
     if not jobs:
         run = None
     else:
-        run = run_supervised(
-            jobs,
-            _run_job,
-            processes=processes,
-            requested_start_method=start_method,
-            config=config,
-            journal=journal,
-            completed=completed,
-        )
+        with tracing.span("batch.run", jobs=len(jobs), processes=processes):
+            run = run_supervised(
+                jobs,
+                _run_job,
+                processes=processes,
+                requested_start_method=start_method,
+                config=config,
+                journal=journal,
+                completed=completed,
+            )
     wall = time.perf_counter() - start
     return BatchReport(
         results=run.results if run else [],

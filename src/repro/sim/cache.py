@@ -60,6 +60,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro import faults, knobs
+from repro.telemetry import trace as tracing
 
 #: Bump when the on-disk layout or pickle schema changes.
 FORMAT_VERSION = 1
@@ -356,39 +357,65 @@ def get_or_compute(kind: str, key: tuple, compute: Callable[[], Any]) -> Any:
     the claim outlives :func:`claim_ttl` (crashed or wedged claimant) or
     the claimant finished without a loadable entry (store failed), so
     this can delay but never lose a result.
+
+    With tracing on (``REPRO_TRACE``), the whole operation is one
+    ``sim.cache`` span whose ``outcome`` attribute names the path taken
+    (``hit``/``computed``/``coalesced``/``takeover``/``disabled``) and,
+    for the waiter paths, how long the single-flight wait lasted.
     """
+    if not tracing.tracing_enabled():
+        value, _, _ = _get_or_compute(kind, key, compute)
+        return value
+    with tracing.span("sim.cache", kind=kind) as sp:
+        value, outcome, waited = _get_or_compute(kind, key, compute)
+        sp.set(outcome=outcome)
+        if waited:
+            sp.set(wait_seconds=round(waited, 6))
+        return value
+
+
+def _get_or_compute(
+    kind: str, key: tuple, compute: Callable[[], Any]
+) -> tuple[Any, str, float]:
+    """:func:`get_or_compute` body; also reports ``(outcome,
+    single-flight wait seconds)`` for the tracing wrapper."""
     if not cache_enabled():
-        return compute()
+        return compute(), "disabled", 0.0
     value = load(kind, key)
     if value is not None:
-        return value
+        return value, "hit", 0.0
     ttl = claim_ttl()
     lock = _claim_path(kind, key)
-    deadline = time.monotonic() + ttl
+    started = time.monotonic()
+    deadline = started + ttl
     while True:
         if _try_claim(lock, ttl):
+            waited = time.monotonic() - started
             try:
                 value = compute()
             finally:
                 _release_claim(lock)
             store(kind, key, value)
-            return value
+            return value, "computed", waited
         # Another process is computing this key: wait for its store.
         entry = _entry_path(kind, key)
         while lock.exists() and not entry.exists():
             if time.monotonic() > deadline:
-                return compute()  # claimant overstayed the TTL
+                # Claimant overstayed the TTL.
+                waited = time.monotonic() - started
+                return compute(), "takeover", waited
             time.sleep(_CLAIM_POLL_SECONDS)
         if entry.exists():
             value = load(kind, key)
             if value is not None:
                 stats.coalesced += 1
-                return value
+                return value, "coalesced", time.monotonic() - started
         # Claim released without a usable entry (claimant failed or its
         # store was rejected): take over — or give up on coalescing once
         # the deadline passes.
         if time.monotonic() > deadline:
-            return compute()
+            waited = time.monotonic() - started
+            return compute(), "takeover", waited
 
 
 def clear() -> int:

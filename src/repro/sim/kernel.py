@@ -373,6 +373,11 @@ def run_compiled(sim):
         sim._ensure_prewarmed()
     tape_rec: list[tuple] | None = [] if (live and tape_key is not None) else None
     tape_i = 0
+    # Execution-mode attribute for the tracing layer (and tests): how
+    # this compiled run actually executed.
+    sim.kernel_mode = (
+        "replay" if not live else ("record" if tape_rec is not None else "compile")
+    )
 
     # -- hoisted config / tables --------------------------------------------
     issue_rate = config.issue_rate

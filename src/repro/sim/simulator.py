@@ -56,6 +56,7 @@ from repro.telemetry.attribution import (
     queue_gate_cause,
     shortfall_cause,
 )
+from repro.telemetry import trace as tracing
 from repro.telemetry.core import (
     MetricsRegistry,
     TelemetryReport,
@@ -170,6 +171,12 @@ class Simulator:
         self.kernel_requested = kernel
         self.kernel_used = False
         self.kernel_decline_reason: str | None = None
+        #: How the compiled kernel executed, set by
+        #: :func:`repro.sim.kernel.run_compiled`: ``"compile"`` (built
+        #: the table live), ``"record"`` (live + recorded a replay tape)
+        #: or ``"replay"`` (replayed a memoised tape).  ``None`` when
+        #: the interpreted loop ran.
+        self.kernel_mode: str | None = None
         #: Prewarm is deferred until a loop actually reads the I-cache:
         #: a kernel tape replay never touches it, and every interpreted
         #: path calls :meth:`_ensure_prewarmed` before its first cycle.
@@ -194,11 +201,31 @@ class Simulator:
     def run(self) -> SimStats:
         """Simulate to completion and return the statistics.
 
-        Event-skipping loop: statistically bit-identical to
-        :meth:`run_reference` (guarded by ``tests/test_equivalence.py``).
-        With telemetry on, the instrumented per-cycle loop runs instead
-        (same counted statistics, plus slot attribution in
-        ``stats.extra``).
+        With tracing on (``REPRO_TRACE``) the whole run is wrapped in a
+        ``sim.run`` span carrying the configuration identity and counted
+        outcome; the default path is a straight passthrough that never
+        enters the tracing layer.
+        """
+        if not tracing.tracing_enabled():
+            return self._run()
+        with tracing.span(
+            "sim.run",
+            machine=self.config.name,
+            scheme=type(self.fetch_unit).__name__,
+            instructions=len(self.trace.instructions),
+        ) as sp:
+            stats = self._run()
+            sp.set(cycles=stats.cycles, kernel=self.kernel_used)
+            if self.kernel_decline_reason:
+                sp.set(kernel_decline=self.kernel_decline_reason)
+            return stats
+
+    def _run(self) -> SimStats:
+        """The untraced run body: event-skipping loop, statistically
+        bit-identical to :meth:`run_reference` (guarded by
+        ``tests/test_equivalence.py``).  With telemetry on, the
+        instrumented per-cycle loop runs instead (same counted
+        statistics, plus slot attribution in ``stats.extra``).
         """
         # Chaos site (per run, never per cycle): a no-op unless the
         # deterministic fault harness is armed via REPRO_FAULTS.
@@ -221,7 +248,12 @@ class Simulator:
                     reason = "fault-injected"
             if reason is None:
                 self.kernel_used = True
-                return compiled_kernel.run_compiled(self)
+                if not tracing.tracing_enabled():
+                    return compiled_kernel.run_compiled(self)
+                with tracing.span("sim.kernel") as sp:
+                    stats = compiled_kernel.run_compiled(self)
+                    sp.set(**{"kernel.mode": self.kernel_mode or "compile"})
+                    return stats
             self.kernel_decline_reason = reason
         else:
             self.kernel_decline_reason = "disabled"

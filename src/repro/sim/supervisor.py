@@ -59,6 +59,7 @@ from typing import Any, Callable
 
 from repro import faults
 from repro.sim import cache as result_cache
+from repro.telemetry import trace as tracing
 
 #: Journal file name inside a sweep/journal directory.
 JOURNAL_NAME = "journal.jsonl"
@@ -279,8 +280,9 @@ class SweepJournal:
 
 
 def _worker_main(worker_id: int, run_job, task_queue, result_conn) -> None:
-    """Worker loop: pull ``(index, attempt, job)``, send an ``ok`` or
-    ``error`` message over this worker's *private* result pipe.
+    """Worker loop: pull ``(index, attempt, job, trace_parent)``, send
+    an ``ok`` or ``error`` message over this worker's *private* result
+    pipe.
     Module-level and closure-free so it pickles under ``spawn``.
     Exceptions are *reported*, not fatal — only a real crash (or an
     injected one) kills the process, and the supervisor notices that by
@@ -294,18 +296,31 @@ def _worker_main(worker_id: int, run_job, task_queue, result_conn) -> None:
     forever, wedging every other worker's result delivery and
     deadlocking the supervisor.  With one single-writer pipe per worker
     a death can only sever that worker's own channel — the parent sees
-    ``EOFError``, requeues the job and respawns the slot."""
+    ``EOFError``, requeues the job and respawns the slot.
+
+    Tracing: the shipped ``trace_parent`` joins this attempt's
+    ``batch.job`` span to the parent's trace; the spans buffered in this
+    worker's flight recorder ride back with every result message (and,
+    when ``REPRO_TRACE_DIR`` is set, were already spilled to disk at
+    record time — a crash-killed worker's spans survive there)."""
     faults.mark_worker()
+    tracing.set_process_role("worker")
     while True:
         item = task_queue.get()
         if item is None:
             return
-        index, attempt, job = item
+        index, attempt, job, trace_parent = item
         start = time.perf_counter()
         before = result_cache.stats.snapshot()
         try:
-            faults.maybe_fail("batch.worker", token=index, attempt=attempt)
-            result = run_job(job)
+            with tracing.span(
+                "batch.job",
+                parent=tracing.parse_traceparent(trace_parent),
+                index=index,
+                attempt=attempt,
+            ):
+                faults.maybe_fail("batch.worker", token=index, attempt=attempt)
+                result = run_job(job)
         except KeyboardInterrupt:  # pragma: no cover - parent interrupt
             return
         except BaseException as exc:
@@ -316,6 +331,7 @@ def _worker_main(worker_id: int, run_job, task_queue, result_conn) -> None:
                 attempt,
                 f"{type(exc).__name__}: {exc}",
                 time.perf_counter() - start,
+                tracing.drain_spans(),
             )
         else:
             message = (
@@ -326,6 +342,7 @@ def _worker_main(worker_id: int, run_job, task_queue, result_conn) -> None:
                 result,
                 result_cache.stats.since(before),
                 time.perf_counter() - start,
+                tracing.drain_spans(),
             )
         try:
             result_conn.send(message)
@@ -377,6 +394,10 @@ class _Supervisor:
         self.journal = journal
         self.on_complete = on_complete
         self.results: list[Any] = [_UNSET] * len(jobs)
+        #: Ambient trace context at construction (e.g. the ``batch.run``
+        #: span): shipped with every task so worker-side ``batch.job``
+        #: spans join this trace rather than starting their own.
+        self.trace_parent = tracing.current_traceparent()
         self.outcomes = [
             JobOutcome(index=i, job=asdict(job)) for i, job in enumerate(jobs)
         ]
@@ -442,10 +463,13 @@ class _Supervisor:
             while index in self.unresolved:
                 start = time.perf_counter()
                 try:
-                    faults.maybe_fail(
-                        "batch.worker", token=index, attempt=attempt
-                    )
-                    result = self.run_job(self.jobs[index])
+                    with tracing.span(
+                        "batch.job", index=index, attempt=attempt
+                    ):
+                        faults.maybe_fail(
+                            "batch.worker", token=index, attempt=attempt
+                        )
+                        result = self.run_job(self.jobs[index])
                 except KeyboardInterrupt:
                     raise
                 except BaseException as exc:
@@ -517,15 +541,17 @@ class _Supervisor:
             if index not in self.unresolved:
                 return  # stale duplicate from a reclaimed worker
             if kind == "ok":
-                result, cache_delta, seconds = message[4:]
+                result, cache_delta, seconds, spans = message[4:]
                 self.outcomes[index].wall_seconds += seconds
                 # Fold the worker's cache activity into this process's
                 # counters so batch totals read like serial totals.
                 result_cache.stats.add(cache_delta)
+                tracing.absorb(spans)
                 self._resolve_ok(index, attempt, result)
             else:
-                reason, seconds = message[4:]
+                reason, seconds, spans = message[4:]
                 self.outcomes[index].wall_seconds += seconds
+                tracing.absorb(spans)
                 self._requeue(index, attempt, reason, "crashed")
 
         for index in sorted(self.unresolved):
@@ -545,7 +571,9 @@ class _Supervisor:
                     _, _, index, attempt = heapq.heappop(self.pending)
                     worker.busy = (index, attempt)
                     worker.started = now
-                    worker.tasks.put((index, attempt, self.jobs[index]))
+                    worker.tasks.put(
+                        (index, attempt, self.jobs[index], self.trace_parent)
+                    )
 
                 ready = multiprocessing.connection.wait(
                     [worker.conn for worker in workers],
@@ -739,6 +767,24 @@ class _PoolTicket:
     job: Any
     future: concurrent.futures.Future
     outcome: JobOutcome
+    #: ``traceparent`` the job's worker-side spans should join.
+    trace_parent: str | None = None
+    #: Submission wall-clock (epoch), for the ``pool.queue_wait`` span.
+    submitted: float = 0.0
+
+
+def _record_queue_wait(ticket: _PoolTicket) -> None:
+    """Synthesize the ``pool.queue_wait`` span — submission to first
+    dispatch — on the ticket's trace (no-op while tracing is off)."""
+    if not tracing.tracing_enabled() or not ticket.submitted:
+        return
+    tracing.record_span(
+        "pool.queue_wait",
+        tracing.parse_traceparent(ticket.trace_parent),
+        ticket.submitted,
+        time.time(),
+        index=ticket.index,
+    )
 
 
 class WorkerPool:
@@ -804,10 +850,20 @@ class WorkerPool:
 
     # public surface --------------------------------------------------------
 
-    def submit(self, job: Any) -> concurrent.futures.Future:
-        """Queue *job*; the returned future resolves to its result."""
+    def submit(
+        self, job: Any, trace_parent: str | None = None
+    ) -> concurrent.futures.Future:
+        """Queue *job*; the returned future resolves to its result.
+
+        *trace_parent* is the ``traceparent`` the job's spans should
+        join (defaults to the caller's ambient trace context); the time
+        between submission and dispatch surfaces as a
+        ``pool.queue_wait`` span on that trace.
+        """
         if self._draining.is_set():
             raise PoolDraining("worker pool is draining")
+        if trace_parent is None:
+            trace_parent = tracing.current_traceparent()
         future: concurrent.futures.Future = concurrent.futures.Future()
         with self._lock:
             index = self._submitted
@@ -815,7 +871,12 @@ class WorkerPool:
             self._unfinished += 1
         record = asdict(job) if is_dataclass(job) else {"job": repr(job)}
         ticket = _PoolTicket(
-            index, job, future, JobOutcome(index=index, job=record)
+            index,
+            job,
+            future,
+            JobOutcome(index=index, job=record),
+            trace_parent,
+            time.time(),
         )
         self._inbox.put(ticket)
         return future
@@ -908,10 +969,16 @@ class WorkerPool:
         while True:
             start = time.perf_counter()
             try:
-                faults.maybe_fail(
-                    "batch.worker", token=ticket.index, attempt=attempt
-                )
-                result = self.run_job(ticket.job)
+                with tracing.span(
+                    "batch.job",
+                    parent=tracing.parse_traceparent(ticket.trace_parent),
+                    index=ticket.index,
+                    attempt=attempt,
+                ):
+                    faults.maybe_fail(
+                        "batch.worker", token=ticket.index, attempt=attempt
+                    )
+                    result = self.run_job(ticket.job)
             except BaseException as exc:
                 ticket.outcome.wall_seconds += time.perf_counter() - start
                 if not self._record_failure(
@@ -933,6 +1000,7 @@ class WorkerPool:
                 if self._draining.is_set():
                     return
                 continue
+            _record_queue_wait(ticket)
             self._run_inline(ticket)
 
     # parallel execution ----------------------------------------------------
@@ -1013,14 +1081,16 @@ class WorkerPool:
             if ticket is None:
                 return  # stale duplicate from a reclaimed worker
             if kind == "ok":
-                result, cache_delta, seconds = message[4:]
+                result, cache_delta, seconds, spans = message[4:]
                 ticket.outcome.wall_seconds += seconds
                 result_cache.stats.add(cache_delta)
+                tracing.absorb(spans)
                 del self._live[index]
                 self._resolve(ticket, attempt, result)
             else:
-                reason, seconds = message[4:]
+                reason, seconds, spans = message[4:]
                 ticket.outcome.wall_seconds += seconds
+                tracing.absorb(spans)
                 self._requeue(pending, index, attempt, reason, "crashed")
 
         workers.extend(spawn() for _ in range(self.processes))
@@ -1065,7 +1135,12 @@ class WorkerPool:
                         continue
                     worker.busy = (index, attempt)
                     worker.started = now
-                    worker.tasks.put((index, attempt, self._live[index].job))
+                    ticket = self._live[index]
+                    if attempt == 1:
+                        _record_queue_wait(ticket)
+                    worker.tasks.put(
+                        (index, attempt, ticket.job, ticket.trace_parent)
+                    )
 
                 ready = multiprocessing.connection.wait(
                     [worker.conn for worker in workers],

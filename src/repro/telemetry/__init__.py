@@ -1,6 +1,6 @@
-"""Telemetry: metrics, slot-level stall attribution, provenance, export.
+"""Telemetry: metrics, stall attribution, tracing, provenance, export.
 
-Four cooperating pieces:
+Cooperating pieces:
 
 * :mod:`repro.telemetry.core` — a tiny metrics registry (counters,
   histograms, wall-clock timers) with a null backend, plus
@@ -9,15 +9,24 @@ Four cooperating pieces:
 * :mod:`repro.telemetry.attribution` — the slot-conservation ledger:
   every cycle each of the machine's ``issue_rate`` slots is charged to
   exactly one cause, so losses sum to ``cycles * issue_rate`` exactly.
+* :mod:`repro.telemetry.trace` — distributed tracing: spans with W3C
+  trace-context propagation across every process boundary, a bounded
+  in-process flight recorder with crash-safe spill files, and Chrome
+  trace-event (Perfetto) export.  Opt-in via ``REPRO_TRACE=1``.
+* :mod:`repro.telemetry.timeline` — read-side trace analysis for the
+  ``repro trace`` CLI (trace trees, critical-path self-time tables).
 * :mod:`repro.telemetry.manifest` — JSON run-provenance documents
   (source digest, config fingerprints, environment knobs, host,
   timings, result-cache statistics).
-* :mod:`repro.telemetry.export` — JSONL/CSV record writers.
+* :mod:`repro.telemetry.export` — JSONL/CSV record writers plus the
+  Prometheus text exposition renderer behind ``/metrics?format=prom``.
 
 Telemetry is strictly opt-in: ``Simulator(..., telemetry=True)`` (or
 ``REPRO_TELEMETRY=1`` through the runners) switches to an instrumented
 per-cycle loop; with it off the fast event-skipping loop runs untouched
-and ``SimStats`` stays bit-identical.  See ``docs/observability.md``.
+and ``SimStats`` stays bit-identical.  Tracing follows the same
+discipline — ``REPRO_TRACE=0`` (the default) makes every span call a
+shared no-op singleton.  See ``docs/observability.md``.
 """
 
 from repro.telemetry.attribution import (
@@ -35,7 +44,7 @@ from repro.telemetry.core import (
     TelemetryReport,
     telemetry_enabled,
 )
-from repro.telemetry.export import read_jsonl, to_csv, to_jsonl
+from repro.telemetry.export import read_jsonl, to_csv, to_jsonl, to_prometheus
 from repro.telemetry.manifest import (
     MANIFEST_VERSION,
     build_manifest,
@@ -63,5 +72,9 @@ __all__ = [
     "telemetry_enabled",
     "to_csv",
     "to_jsonl",
+    "to_prometheus",
+    "tracing_enabled",
     "write_manifest",
 ]
+
+from repro.telemetry.trace import tracing_enabled  # noqa: E402 (cycle-free)

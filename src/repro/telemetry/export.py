@@ -1,16 +1,20 @@
-"""Telemetry exporters: JSON-lines and CSV.
+"""Telemetry exporters: JSON-lines, CSV and Prometheus text exposition.
 
-Both take flat record dictionaries (one per simulation — typically
-``SimStats.as_dict()`` rows, which carry the ``slot_*`` attribution
-keys when the run was instrumented) and write them out for downstream
-tooling.  JSONL preserves types and ragged keys; CSV flattens onto the
-union of all keys for spreadsheet use.
+:func:`to_jsonl` / :func:`to_csv` take flat record dictionaries (one
+per simulation — typically ``SimStats.as_dict()`` rows, which carry the
+``slot_*`` attribution keys when the run was instrumented) and write
+them out for downstream tooling.  JSONL preserves types and ragged
+keys; CSV flattens onto the union of all keys for spreadsheet use.
+:func:`to_prometheus` renders a nested metrics tree (the service
+``/metrics`` JSON) in the Prometheus text exposition format so standard
+scrapers work against ``/metrics?format=prom``.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import re
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
@@ -58,3 +62,63 @@ def to_csv(records: Iterable[dict], path: str | Path) -> Path:
         writer.writeheader()
         writer.writerows(rows)
     return target
+
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def to_prometheus(tree: dict, prefix: str = "repro") -> str:
+    """Render a nested metrics tree as Prometheus text exposition.
+
+    Every numeric leaf becomes one sample named by its underscore-joined
+    path under *prefix* (booleans count as 0/1; strings and nulls are
+    skipped — they are labels in spirit, and this exposition carries
+    none).  Leaves under a ``counters`` subtree are typed ``counter``;
+    everything else — gauges, histogram summaries, timers — is a
+    ``gauge``.  Adjacent duplicate path tokens collapse, so
+    ``service -> service.jobs_admitted`` reads
+    ``repro_service_jobs_admitted``, not ``repro_service_service_...``.
+    """
+    samples: list[tuple[str, str, float]] = []
+
+    def emit(path: list[str], value: object, metric_type: str) -> None:
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            return
+        tokens = [prefix]
+        for part in path:
+            tokens.extend(
+                token
+                for token in _METRIC_NAME_RE.sub("_", str(part)).split("_")
+                if token
+            )
+        collapsed: list[str] = []
+        for token in tokens:
+            if not collapsed or collapsed[-1] != token:
+                collapsed.append(token)
+        samples.append(("_".join(collapsed), metric_type, float(value)))
+
+    def walk(node: object, path: list[str], metric_type: str) -> None:
+        if isinstance(node, dict):
+            for key, value in sorted(node.items()):
+                if key == "counters":
+                    walk(value, path, "counter")
+                elif key in ("histograms", "timers"):
+                    walk(value, path, "gauge")
+                else:
+                    walk(value, path + [key], metric_type)
+        else:
+            emit(path, node, metric_type)
+
+    walk(tree, [], "gauge")
+    lines: list[str] = []
+    seen: set[str] = set()
+    for name, metric_type, value in samples:
+        if name in seen:
+            continue
+        seen.add(name)
+        rendered = str(int(value)) if value.is_integer() else repr(value)
+        lines.append(f"# TYPE {name} {metric_type}")
+        lines.append(f"{name} {rendered}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,209 @@
+"""Trace loading and rendering for the ``repro trace`` CLI.
+
+Reads the per-process span spill files a traced run leaves under
+``REPRO_TRACE_DIR`` (``spans-<pid>.jsonl``, written by
+:mod:`repro.telemetry.trace`), groups them into traces, and renders:
+
+* a one-line-per-trace listing (newest first),
+* an indented span tree for one trace (cross-process — each line shows
+  the recording process role and pid),
+* a top-N critical-path table across traces: per span name, the total
+  *self time* (span duration minus the time covered by its children),
+  which is where wall-clock actually went.
+
+Pure read-side analysis: nothing here records spans or touches the
+flight recorder, so it can run against a live service's trace
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.trace import Span
+
+
+def load_dir(directory: str | Path) -> list[Span]:
+    """Read every span from the ``spans-*.jsonl`` spill files (and any
+    other ``*.jsonl`` dumps) under *directory*; bad lines are skipped —
+    a crash may truncate the final line of a spill file mid-write."""
+    root = Path(directory)
+    spans: list[Span] = []
+    if not root.is_dir():
+        return spans
+    for path in sorted(root.glob("*.jsonl")):
+        try:
+            text = path.read_text()
+        except OSError:
+            continue
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "trace_id" in record:
+                spans.append(Span.from_dict(record))
+    return spans
+
+
+def group_traces(spans: list[Span]) -> dict[str, list[Span]]:
+    """Spans bucketed by trace id, each bucket sorted by start time."""
+    traces: dict[str, list[Span]] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span)
+    for bucket in traces.values():
+        bucket.sort(key=lambda s: (s.start, s.span_id))
+    return traces
+
+
+def find_trace(spans: list[Span], trace_id: str) -> list[Span]:
+    """The spans of one trace by exact id or unique prefix; raises
+    ``ValueError`` when the prefix is ambiguous or unknown."""
+    traces = group_traces(spans)
+    if trace_id in traces:
+        return traces[trace_id]
+    matches = [tid for tid in traces if tid.startswith(trace_id)]
+    if len(matches) == 1:
+        return traces[matches[0]]
+    if not matches:
+        raise ValueError(f"no trace matches {trace_id!r}")
+    raise ValueError(
+        f"{trace_id!r} is ambiguous ({len(matches)} traces match)"
+    )
+
+
+def trace_summaries(spans: list[Span]) -> list[dict]:
+    """One summary row per trace, newest first: id, root span name,
+    wall-clock duration, span count, distinct processes touched."""
+    rows = []
+    for trace_id, bucket in group_traces(spans).items():
+        ids = {s.span_id for s in bucket}
+        roots = [s for s in bucket if not s.parent_id or s.parent_id not in ids]
+        root = min(roots, key=lambda s: s.start) if roots else bucket[0]
+        end = max(s.start + s.duration for s in bucket)
+        rows.append(
+            {
+                "trace_id": trace_id,
+                "root": root.name,
+                "start": root.start,
+                "duration": max(root.duration, end - root.start),
+                "spans": len(bucket),
+                "processes": len({(s.process, s.pid) for s in bucket}),
+                "errors": sum(1 for s in bucket if s.status != "ok"),
+            }
+        )
+    rows.sort(key=lambda r: r["start"], reverse=True)
+    return rows
+
+
+def render_listing(spans: list[Span], limit: int = 20) -> str:
+    """The trace listing as text (``repro trace`` with no id)."""
+    rows = trace_summaries(spans)
+    if not rows:
+        return "no traces found"
+    lines = [
+        f"{'trace':16s}  {'root span':24s}  {'duration':>10s}  "
+        f"{'spans':>5s}  {'procs':>5s}  {'errors':>6s}"
+    ]
+    for row in rows[:limit]:
+        lines.append(
+            f"{row['trace_id'][:16]:16s}  {row['root'][:24]:24s}  "
+            f"{row['duration'] * 1e3:8.2f}ms  {row['spans']:5d}  "
+            f"{row['processes']:5d}  {row['errors']:6d}"
+        )
+    if len(rows) > limit:
+        lines.append(f"... and {len(rows) - limit} more traces")
+    return "\n".join(lines)
+
+
+def render_tree(bucket: list[Span]) -> str:
+    """One trace as an indented tree, children under parents in start
+    order; orphaned spans (parent span lost, e.g. ring overflow) are
+    promoted to the root level rather than hidden."""
+    ids = {s.span_id for s in bucket}
+    children: dict[str | None, list[Span]] = {}
+    for span in bucket:
+        key = span.parent_id if span.parent_id in ids else None
+        children.setdefault(key, []).append(span)
+    for sibling in children.values():
+        sibling.sort(key=lambda s: (s.start, s.span_id))
+
+    origin = min(s.start for s in bucket) if bucket else 0.0
+    lines: list[str] = []
+    if bucket:
+        lines.append(f"trace {bucket[0].trace_id}")
+
+    def walk(span: Span, depth: int) -> None:
+        marker = "" if span.status == "ok" else "  !! " + (span.error or "error")
+        attrs = ""
+        if span.attributes:
+            parts = [f"{k}={v}" for k, v in sorted(span.attributes.items())]
+            attrs = "  {" + ", ".join(parts) + "}"
+        lines.append(
+            f"{'  ' * depth}- {span.name}  "
+            f"[{(span.start - origin) * 1e3:+.2f}ms "
+            f"+{span.duration * 1e3:.2f}ms]  "
+            f"({span.process or '?'}/{span.pid}){attrs}{marker}"
+        )
+        for child in children.get(span.span_id, []):
+            walk(child, depth + 1)
+
+    for root in children.get(None, []):
+        walk(root, 1)
+    return "\n".join(lines)
+
+
+def _self_time(span: Span, bucket: list[Span]) -> float:
+    """Span duration minus the union of its children's intervals —
+    the time this span itself was the critical work."""
+    intervals = sorted(
+        (max(c.start, span.start), min(c.start + c.duration, span.start + span.duration))
+        for c in bucket
+        if c.parent_id == span.span_id
+    )
+    covered = 0.0
+    cursor = span.start
+    for lo, hi in intervals:
+        if hi <= cursor:
+            continue
+        covered += hi - max(lo, cursor)
+        cursor = hi
+    return max(0.0, span.duration - covered)
+
+
+def critical_path(spans: list[Span], top: int = 10) -> list[dict]:
+    """Aggregate self time per span name across every trace: the top-N
+    places wall-clock actually went."""
+    totals: dict[str, dict] = {}
+    for bucket in group_traces(spans).values():
+        for span in bucket:
+            row = totals.setdefault(
+                span.name,
+                {"name": span.name, "count": 0, "self": 0.0, "total": 0.0},
+            )
+            row["count"] += 1
+            row["self"] += _self_time(span, bucket)
+            row["total"] += span.duration
+    rows = sorted(totals.values(), key=lambda r: r["self"], reverse=True)
+    return rows[:top]
+
+
+def render_critical_path(spans: list[Span], top: int = 10) -> str:
+    rows = critical_path(spans, top=top)
+    if not rows:
+        return "no spans found"
+    lines = [
+        f"{'span':24s}  {'count':>5s}  {'self time':>10s}  "
+        f"{'total':>10s}  {'self/span':>9s}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['name'][:24]:24s}  {row['count']:5d}  "
+            f"{row['self'] * 1e3:8.2f}ms  {row['total'] * 1e3:8.2f}ms  "
+            f"{row['self'] / row['count'] * 1e3:7.2f}ms"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,572 @@
+"""Distributed tracing: spans, a flight recorder, and trace-context
+propagation across every process boundary the stack owns.
+
+PR 3 attributed every lost issue slot inside *one* simulation; this
+module attributes wall-clock across the *system* — client → HTTP server
+→ scheduler → supervised worker → simulator → kernel/cache — so one
+request can be followed end to end.  It is stdlib-only and strictly
+observational: spans record timing, they never feed back into what a
+simulation computes (which is why the ``REPRO_TRACE`` knob is declared
+``exempt`` from cache salting in :mod:`repro.knobs`).
+
+Model (W3C trace-context shaped):
+
+* A :class:`Span` is one timed operation: ``trace_id`` (shared by every
+  span of one request), ``span_id``, ``parent_id``, name, epoch start,
+  duration, structured attributes, ``ok``/``error`` status, plus the
+  recording pid/role so cross-process trees render honestly.
+* Context propagates in-process through a :data:`contextvars.ContextVar`
+  and across process boundaries as a ``traceparent`` string
+  (``00-<trace_id>-<span_id>-01``): an HTTP header on the service
+  client/server, an optional job-payload field through the protocol, and
+  a task-envelope field through the supervisor/worker pool.  The trace
+  context deliberately rides *outside* :class:`~repro.sim.batch.SimJob`:
+  the job description is the coalescing key, the journal key and the
+  result-cache key, and tracing must never perturb any of them.
+* Finished spans land in the process's :class:`FlightRecorder`, a
+  bounded ring buffer.  Supervised workers ship their buffered spans
+  back to the parent with each job result; when ``REPRO_TRACE_DIR`` is
+  set every finished span is *also* appended (flushed) to a per-process
+  spill file, so a crash-killed worker's buffered spans survive on disk
+  — no silent span loss (the chaos suite proves it).
+* Export: the spill files are plain JSONL; :func:`to_chrome` converts
+  spans to the Chrome trace-event format, which Perfetto and
+  ``chrome://tracing`` load directly.  ``repro trace`` renders trees and
+  critical paths from either (:mod:`repro.telemetry.timeline`).
+
+Cost discipline: with ``REPRO_TRACE=0`` (the default) :func:`span`
+returns the :data:`NULL_SPAN` singleton — no span object, no recorder
+work, no allocations in this module — and the hooks sit at per-run /
+per-request / per-cache-op granularity, never inside the cycle loop
+(the same rule :mod:`repro.faults` follows).  The ``telemetry.trace``
+fault site fires on every recorder append; an injected fault there
+drops the span (counted in :attr:`FlightRecorder.dropped`) instead of
+ever failing the traced operation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import faults, knobs
+
+#: W3C traceparent version prefix this module emits.
+TRACEPARENT_VERSION = "00"
+
+#: Ring-buffer capacity of the per-process flight recorder.
+RING_CAPACITY = 4096
+
+#: Spill-file name pattern inside ``REPRO_TRACE_DIR`` (one per process).
+SPILL_PATTERN = "spans-{pid}.jsonl"
+
+
+# -- enablement ---------------------------------------------------------------
+
+_enabled_memo: bool | None = None
+
+
+def tracing_enabled() -> bool:
+    """Whether spans are recorded (``REPRO_TRACE``), memoised per
+    process so the hot-path check is one global read."""
+    global _enabled_memo
+    if _enabled_memo is None:
+        _enabled_memo = knobs.enabled("REPRO_TRACE")
+    return _enabled_memo
+
+
+def reload() -> bool:
+    """Re-read the environment (tests; call after flipping
+    ``REPRO_TRACE``/``REPRO_TRACE_DIR`` mid-process)."""
+    global _enabled_memo, _spill_handle, _spill_pid
+    _enabled_memo = None
+    if _spill_handle is not None:
+        try:
+            _spill_handle.close()
+        except OSError:  # pragma: no cover - already severed
+            pass
+    _spill_handle = None
+    _spill_pid = None
+    return tracing_enabled()
+
+
+def trace_dir() -> Path | None:
+    """Persistent span-export directory (``REPRO_TRACE_DIR``), or
+    ``None`` when export is off (ring buffer only)."""
+    raw = knobs.raw("REPRO_TRACE_DIR")
+    return Path(raw) if raw else None
+
+
+# -- identifiers and context --------------------------------------------------
+
+
+def _new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The propagatable identity of a span: its trace and its id."""
+
+    trace_id: str
+    span_id: str
+
+    def traceparent(self) -> str:
+        return f"{TRACEPARENT_VERSION}-{self.trace_id}-{self.span_id}-01"
+
+
+def parse_traceparent(value: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` string; ``None`` on any malformation
+    (propagation is best-effort, a bad header never fails a request)."""
+    if not value or not isinstance(value, str):
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 4:
+        return None
+    _version, trace_id, span_id, _flags = parts
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16)
+        int(span_id, 16)
+    except ValueError:
+        return None
+    return TraceContext(trace_id, span_id)
+
+
+#: Ambient span context of the current thread/task (inherited by child
+#: spans started without an explicit parent).
+_current: ContextVar[TraceContext | None] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+#: Role label stamped on spans this process records ("main" unless
+#: :func:`set_process_role` renames it — workers, the server).
+_role = "main"
+
+
+def set_process_role(role: str) -> None:
+    """Label spans recorded by this process (e.g. ``worker``,
+    ``server``) so multi-process trees render honestly."""
+    global _role
+    _role = role
+
+
+def current_context() -> TraceContext | None:
+    """The ambient span context, or ``None`` (also when tracing is
+    off — disabled processes never propagate)."""
+    if not tracing_enabled():
+        return None
+    return _current.get()
+
+
+def current_traceparent() -> str | None:
+    """The ambient context as a ``traceparent`` string, or ``None``."""
+    ctx = current_context()
+    return ctx.traceparent() if ctx is not None else None
+
+
+# -- spans --------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Span:
+    """One finished (or finishing) timed operation."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    #: Epoch seconds — comparable across processes on one host, and the
+    #: Chrome trace-event timebase.
+    start: float
+    duration: float = 0.0
+    attributes: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    error: str | None = None
+    pid: int = field(default_factory=os.getpid)
+    process: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": round(self.start, 6),
+            "duration": round(self.duration, 6),
+            "attributes": self.attributes,
+            "status": self.status,
+            "error": self.error,
+            "pid": self.pid,
+            "process": self.process,
+        }
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "Span":
+        return cls(
+            name=record.get("name", "?"),
+            trace_id=record.get("trace_id", ""),
+            span_id=record.get("span_id", ""),
+            parent_id=record.get("parent_id"),
+            start=float(record.get("start", 0.0)),
+            duration=float(record.get("duration", 0.0)),
+            attributes=dict(record.get("attributes") or {}),
+            status=record.get("status", "ok"),
+            error=record.get("error"),
+            pid=int(record.get("pid", 0)),
+            process=record.get("process", ""),
+        )
+
+
+#: Sentinel: "inherit the ambient context" (vs. an explicit ``None``
+#: parent, which forces a new root trace).
+_AMBIENT = object()
+
+
+class SpanHandle:
+    """A live span: context manager (activates the span as the ambient
+    context) or manual (:meth:`end` from any thread)."""
+
+    __slots__ = ("span", "_token", "_done")
+
+    def __init__(self, span: Span) -> None:
+        self.span = span
+        self._token = None
+        self._done = False
+
+    def context(self) -> TraceContext:
+        return TraceContext(self.span.trace_id, self.span.span_id)
+
+    def traceparent(self) -> str | None:
+        return self.context().traceparent()
+
+    def set(self, **attributes: Any) -> "SpanHandle":
+        self.span.attributes.update(attributes)
+        return self
+
+    def end(self, error: str | None = None) -> None:
+        """Finish the span (idempotent) and hand it to the recorder."""
+        if self._done:
+            return
+        self._done = True
+        self.span.duration = max(0.0, time.time() - self.span.start)
+        if error is not None:
+            self.span.status = "error"
+            self.span.error = error
+        recorder.record(self.span)
+
+    def __enter__(self) -> "SpanHandle":
+        self._token = _current.set(self.context())
+        return self
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        self.end(
+            error=f"{exc_type.__name__}: {exc}" if exc_type is not None else None
+        )
+
+
+class NullSpan:
+    """The do-nothing span handle returned while tracing is off.
+
+    A single module-level instance (:data:`NULL_SPAN`) so the disabled
+    path allocates nothing: same surface as :class:`SpanHandle`, every
+    method a no-op.
+    """
+
+    __slots__ = ()
+
+    span = None
+
+    def context(self) -> None:
+        return None
+
+    def traceparent(self) -> None:
+        return None
+
+    def set(self, **_attributes: Any) -> "NullSpan":
+        return self
+
+    def end(self, error: str | None = None) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> None:
+        pass
+
+
+#: The shared disabled-path handle (identity-testable by the tests).
+NULL_SPAN = NullSpan()
+
+
+def _make_span(
+    name: str, parent: TraceContext | None, attributes: dict[str, Any]
+) -> Span:
+    if parent is None:
+        trace_id, parent_id = _new_trace_id(), None
+    else:
+        trace_id, parent_id = parent.trace_id, parent.span_id
+    return Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=_new_span_id(),
+        parent_id=parent_id,
+        start=time.time(),
+        attributes=attributes,
+        process=_role,
+    )
+
+
+def span(
+    name: str, parent: Any = _AMBIENT, **attributes: Any
+) -> SpanHandle | NullSpan:
+    """Start a span (``with trace.span("sim.run") as sp: ...``).
+
+    *parent* defaults to the ambient context; pass an explicit
+    :class:`TraceContext` (e.g. parsed from a ``traceparent``) to join a
+    remote trace, or ``None`` to force a new root.  Returns
+    :data:`NULL_SPAN` while tracing is off.
+    """
+    if not tracing_enabled():
+        return NULL_SPAN
+    resolved = _current.get() if parent is _AMBIENT else parent
+    return SpanHandle(_make_span(name, resolved, dict(attributes)))
+
+
+def start_span(
+    name: str, parent: Any = _AMBIENT, **attributes: Any
+) -> SpanHandle | NullSpan:
+    """Like :func:`span` but for manual lifecycles: does not become the
+    ambient context; finish it with ``handle.end()`` (any thread)."""
+    return span(name, parent=parent, **attributes)
+
+
+def record_span(
+    name: str,
+    parent: TraceContext | None,
+    start: float,
+    end: float,
+    **attributes: Any,
+) -> None:
+    """Record an already-elapsed interval as a finished span (used to
+    synthesize e.g. queue-wait spans from timestamps after the fact)."""
+    if not tracing_enabled():
+        return
+    finished = _make_span(name, parent, dict(attributes))
+    finished.start = start
+    finished.duration = max(0.0, end - start)
+    recorder.record(finished)
+
+
+# -- flight recorder ----------------------------------------------------------
+
+
+class FlightRecorder:
+    """Bounded in-process ring buffer of finished spans.
+
+    Always available once tracing is on; oldest spans fall off past
+    *capacity*.  When ``REPRO_TRACE_DIR`` is set, every recorded span is
+    also appended (flushed) to this process's spill file, so buffered
+    spans survive a crash.  The ``telemetry.trace`` fault site fires on
+    every append: an injected fault drops the span (counted) — tracing
+    failures never propagate into the traced operation.
+    """
+
+    def __init__(self, capacity: int = RING_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self.recorded = 0
+        self.dropped = 0
+        self.absorbed = 0
+
+    def record(self, span: Span) -> None:
+        try:
+            faults.maybe_fail("telemetry.trace")
+        except faults.FaultInjected:
+            with self._lock:
+                self.dropped += 1
+            return
+        with self._lock:
+            self._spans.append(span)
+            self.recorded += 1
+        _spill(span)
+
+    def absorb(self, records: list[dict]) -> None:
+        """Fold spans shipped from another process (a worker's result
+        message) into this recorder; already spilled at their origin."""
+        if not records:
+            return
+        with self._lock:
+            for record in records:
+                self._spans.append(Span.from_dict(record))
+                self.absorbed += 1
+
+    def drain(self) -> list[dict]:
+        """Remove and return every buffered span as dicts (workers ship
+        these back with each job result)."""
+        with self._lock:
+            spans = [span.as_dict() for span in self._spans]
+            self._spans.clear()
+        return spans
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def find(self, trace_id: str) -> list[Span]:
+        """Buffered spans of one trace (exact id or unique prefix)."""
+        with self._lock:
+            exact = [s for s in self._spans if s.trace_id == trace_id]
+            if exact:
+                return exact
+            return [s for s in self._spans if s.trace_id.startswith(trace_id)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.recorded = 0
+            self.dropped = 0
+            self.absorbed = 0
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the buffered spans as JSONL (flight-recorder dump)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w") as handle:
+            for span in self.spans():
+                handle.write(json.dumps(span.as_dict()) + "\n")
+        return target
+
+
+#: The process-wide recorder.
+recorder = FlightRecorder()
+
+
+def drain_spans() -> list[dict]:
+    """Ship-and-clear helper for workers; cheap no-op when tracing is
+    off (nothing was ever recorded)."""
+    if not tracing_enabled():
+        return []
+    return recorder.drain()
+
+
+def absorb(records: list[dict]) -> None:
+    """Parent-side half of :func:`drain_spans`."""
+    if records:
+        recorder.absorb(records)
+
+
+# -- persistent spill (crash-safe export) -------------------------------------
+
+_spill_handle = None
+_spill_pid: int | None = None
+_spill_lock = threading.Lock()
+
+
+def spill_path() -> Path | None:
+    """This process's spill file under ``REPRO_TRACE_DIR`` (or None)."""
+    directory = trace_dir()
+    if directory is None:
+        return None
+    return directory / SPILL_PATTERN.format(pid=os.getpid())
+
+
+def _spill(span: Span) -> None:
+    """Append one span to the spill file, flushed immediately so a
+    crash loses at most the span in flight.  The handle is reopened
+    after a fork (the pid changes) so workers never interleave writes
+    into an inherited parent handle."""
+    global _spill_handle, _spill_pid
+    path = spill_path()
+    if path is None:
+        return
+    with _spill_lock:
+        if _spill_handle is None or _spill_pid != os.getpid():
+            try:
+                path.parent.mkdir(parents=True, exist_ok=True)
+                _spill_handle = path.open("a")
+                _spill_pid = os.getpid()
+            except OSError:  # pragma: no cover - unwritable export dir
+                return
+        try:
+            _spill_handle.write(json.dumps(span.as_dict()) + "\n")
+            _spill_handle.flush()
+        except (OSError, ValueError):  # pragma: no cover - severed handle
+            _spill_handle = None
+
+
+# -- Chrome trace-event export ------------------------------------------------
+
+
+def to_chrome(spans: list[Span] | list[dict]) -> dict:
+    """Convert spans to the Chrome trace-event JSON object format
+    (complete ``"X"`` events), loadable by Perfetto and
+    ``chrome://tracing``."""
+    events = []
+    for item in spans:
+        record = item.as_dict() if isinstance(item, Span) else item
+        args = dict(record.get("attributes") or {})
+        args["trace_id"] = record.get("trace_id")
+        args["span_id"] = record.get("span_id")
+        args["parent_id"] = record.get("parent_id")
+        args["status"] = record.get("status", "ok")
+        if record.get("error"):
+            args["error"] = record["error"]
+        events.append(
+            {
+                "name": record.get("name", "?"),
+                "cat": record.get("process") or "repro",
+                "ph": "X",
+                "ts": float(record.get("start", 0.0)) * 1e6,
+                "dur": max(0.0, float(record.get("duration", 0.0))) * 1e6,
+                "pid": int(record.get("pid", 0)),
+                "tid": int(record.get("pid", 0)),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome(document: object) -> list[str]:
+    """Schema problems of a Chrome trace-event document (empty list =
+    valid); the trace-smoke CI job gates on this."""
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents array"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        for key, kinds in (
+            ("name", str),
+            ("ph", str),
+            ("ts", (int, float)),
+            ("pid", int),
+            ("tid", int),
+        ):
+            if not isinstance(event.get(key), kinds):
+                problems.append(f"event {index}: bad or missing {key!r}")
+        if event.get("ph") == "X" and not isinstance(
+            event.get("dur"), (int, float)
+        ):
+            problems.append(f"event {index}: complete event without dur")
+    return problems

@@ -230,9 +230,9 @@ class TestRegistryCoverage:
             discovered.update(token.findall(path.read_text()))
         assert discovered, "grep found no knobs at all?"
         assert discovered <= set(knobs.REGISTRY)
-        assert len(knobs.REGISTRY) == 9
+        assert len(knobs.REGISTRY) == 11
 
-    def test_analyzer_sees_all_nine_knobs(self):
+    def test_analyzer_sees_every_knob(self):
         project = Project(REPO_ROOT)
         reads = {r.name for r in knob_registry.collect_reads(project)}
         declared = {d.name for d in knob_registry.parse_registry(project)}

@@ -543,3 +543,77 @@ class TestSweepCLI:
         (outcome,) = manifest["job_outcomes"]
         assert outcome["status"] == "ok"
         assert manifest["arguments"]["retries"] == 2
+
+
+# -- tracing under chaos ------------------------------------------------------
+
+
+class TestTracingChaos:
+    """The flight recorder's no-silent-span-loss guarantees: crashed
+    workers' spans survive on disk and reach the parent on retry, and an
+    injected ``telemetry.trace`` fault drops spans without ever touching
+    simulation results."""
+
+    @pytest.fixture(autouse=True)
+    def _traced(self, monkeypatch, tmp_path, cache_env):
+        from repro.telemetry import trace as tracing
+
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "spans"))
+        tracing.reload()
+        tracing.recorder.clear()
+        yield tmp_path / "spans"
+        tracing.recorder.clear()
+        os.environ.pop("REPRO_TRACE", None)
+        os.environ.pop("REPRO_TRACE_DIR", None)
+        tracing.reload()
+
+    @FORK_ONLY
+    def test_crashed_worker_spans_reach_parent_and_disk(self, _traced):
+        from repro.telemetry import timeline
+        from repro.telemetry import trace as tracing
+
+        # Unique length so no earlier test warmed the in-process memo:
+        # the whole sim.* span tree must really run in the workers.
+        jobs = make_jobs(length=3_100)
+        arm("seed=7;batch.worker=crash:a=1")
+        report = run_batch_report(jobs, processes=2, config=FAST)
+        assert all(o.status == "retried" for o in report.outcomes)
+        # Every job's successful attempt shipped its spans back to the
+        # parent recorder despite the first-attempt crashes...
+        recorded = tracing.recorder.spans()
+        job_spans = [s for s in recorded if s.name == "batch.job"]
+        assert sorted(s.attributes["index"] for s in job_spans) == [0, 1]
+        assert all(s.attributes["attempt"] == 2 for s in job_spans)
+        assert {s.name for s in recorded} >= {
+            "batch.run",
+            "batch.job",
+            "sim.run",
+            "sim.kernel",
+            "sim.cache",
+        }
+        # ...and the same spans are on disk (spilled at their origin
+        # before the result message was even sent): no silent span loss.
+        spilled = timeline.load_dir(_traced)
+        spilled_ids = {s.span_id for s in spilled}
+        for span in recorded:
+            assert span.span_id in spilled_ids
+        # One trace covers supervisor and both (respawned) workers.
+        assert len({s.trace_id for s in recorded}) == 1
+        assert len({s.pid for s in recorded}) >= 2
+        # And the chaos run changed no simulation result.
+        disarm()
+        assert report.results == run_batch(jobs, processes=1)
+
+    def test_injected_trace_fault_drops_spans_not_results(self):
+        from repro.telemetry import trace as tracing
+
+        jobs = make_jobs()
+        disarm()
+        baseline = run_batch(jobs, processes=1)
+        tracing.recorder.clear()
+        before_dropped = tracing.recorder.dropped
+        arm("seed=11;telemetry.trace=exc:p=1")
+        assert run_batch(jobs, processes=1) == baseline
+        assert tracing.recorder.dropped > before_dropped
+        assert tracing.recorder.spans() == []

@@ -360,3 +360,119 @@ def test_loadgen_smoke(tmp_path):
         "throughput_rps_min": 50.0,
         "p99_seconds_max": 0.25,
     }
+
+
+def test_loadgen_reports_client_vs_server_latency(tmp_path):
+    report = None
+    with service(max_queue=32) as (server, scheduler, pool):
+        report = run_loadgen(
+            port=server.port,
+            clients=2,
+            duration=0.6,
+            mix=[JOB],
+            output=None,
+            quiet=True,
+        )
+    timed = report["timed_phase"]
+    assert timed["requests_completed"] > 0
+    # Every request carries a server-reported duration; the delta is
+    # the queueing/network time the client-only numbers used to hide.
+    assert timed["server_seconds"]["p50"] > 0
+    assert timed["client_server_delta_seconds"]["mean"] >= 0
+    assert (
+        timed["server_seconds"]["p50"]
+        <= timed["latency_seconds"]["p50"] + 1e-6
+    )
+
+
+# -- tracing ------------------------------------------------------------------
+
+
+@pytest.fixture()
+def traced(monkeypatch):
+    from repro.telemetry import trace as tracing
+
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    tracing.reload()
+    tracing.recorder.clear()
+    yield tracing
+    tracing.recorder.clear()
+    os.environ.pop("REPRO_TRACE", None)
+    tracing.reload()
+
+
+def test_traced_job_joins_one_trace_with_span_conservation(traced):
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            first = client.run_job(JOB)
+            trace_id = client.last_trace_id
+            assert trace_id is not None
+            assert first["trace_id"] == trace_id
+            second = client.run_job(dict(JOB, scheme="collapsing_buffer"))
+    spans = traced.recorder.spans()
+    # Exactly one service.job root per accepted job.
+    roots = [s for s in spans if s.name == "service.job"]
+    assert len(roots) == 2
+    assert len({s.trace_id for s in roots}) == 2
+    for root in roots:
+        children = [s for s in spans if s.parent_id == root.span_id]
+        assert sorted(s.name for s in children) == [
+            "batch.job",
+            "pool.queue_wait",
+        ]
+        # Conservation: queue wait plus execution fit inside the job.
+        assert sum(s.duration for s in children) <= root.duration + 0.05
+    # The client-side spans joined the same traces end to end.
+    mine = [s for s in spans if s.trace_id == trace_id]
+    assert {s.name for s in mine} >= {
+        "client.request",
+        "client.submit",
+        "service.request",
+        "service.job",
+        "batch.job",
+    }
+    assert second["status"] == "done"
+
+
+def test_traceparent_echo_and_traces_endpoint(traced):
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            with traced.span("probe", parent=None) as probe:
+                response = client.request("GET", "/healthz")
+                assert response.headers["traceparent"].startswith(
+                    f"00-{probe.span.trace_id}-"
+                )
+            record = client.run_job(JOB)
+            listing = client.request("GET", "/v1/traces").payload
+            assert record["trace_id"] in {
+                row["trace_id"] for row in listing["traces"]
+            }
+            detail = client.request(
+                "GET", f"/v1/traces/{record['trace_id'][:12]}"
+            ).payload
+            names = {s["name"] for s in detail["spans"]}
+            assert "service.job" in names and "batch.job" in names
+
+
+def test_traces_endpoint_when_tracing_off():
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            response = client.request("GET", "/v1/traces/deadbeef")
+            assert response.status == 404
+            assert "REPRO_TRACE" in str(response.payload)
+
+
+def test_metrics_prometheus_exposition():
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port) as client:
+            client.run_job(JOB)
+            # Default stays JSON for existing scrapers of the endpoint.
+            assert isinstance(client.metrics()["queue"], dict)
+            response = client.request("GET", "/metrics?format=prom")
+            assert response.status == 200
+            assert response.headers["content-type"].startswith("text/plain")
+            text = response.payload["raw"]
+    assert "# TYPE repro_service_jobs_admitted counter" in text
+    assert "repro_service_jobs_admitted 1" in text
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert text.endswith("\n")

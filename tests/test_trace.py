@@ -1,0 +1,389 @@
+"""Tests for distributed tracing: spans, propagation, the flight
+recorder, spill files, Chrome export, and the timeline renderer.
+
+The cost-discipline tests pin the two properties the tracing layer
+promises: with ``REPRO_TRACE=0`` every span call returns the shared
+:data:`~repro.telemetry.trace.NULL_SPAN` singleton and the module
+allocates nothing on the hot path; with it on, traced results stay
+bit-identical to untraced ones (the knob is cache-exempt).
+"""
+
+import json
+import os
+import tracemalloc
+
+import pytest
+
+from repro.machines.presets import get_machine
+from repro.sim.batch import run_batch, suite_jobs
+from repro.sim.simulator import Simulator
+from repro.telemetry import timeline
+from repro.telemetry import trace as tracing
+from repro.workloads.suite import load_workload
+from repro.workloads.trace import generate_trace
+
+
+@pytest.fixture(autouse=True)
+def _trace_slate(monkeypatch, tmp_path):
+    """Each test starts untraced with an empty recorder and no spill
+    directory; the memo is re-read on the way in and out."""
+    monkeypatch.delenv("REPRO_TRACE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    tracing.reload()
+    tracing.recorder.clear()
+    yield
+    tracing.recorder.clear()
+    os.environ.pop("REPRO_TRACE", None)
+    os.environ.pop("REPRO_TRACE_DIR", None)
+    tracing.reload()
+
+
+def enable(monkeypatch, directory=None):
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    if directory is not None:
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(directory))
+    tracing.reload()
+
+
+def sim_once(scheme="sequential", length=2_000):
+    workload = load_workload("ora")
+    trace = generate_trace(workload.program, workload.behavior, length, seed=0)
+    sim = Simulator(get_machine("PI4"), trace, scheme, warmup=400)
+    return sim.run()
+
+
+# -- trace-context propagation ------------------------------------------------
+
+
+class TestTraceContext:
+    def test_traceparent_round_trip(self):
+        ctx = tracing.TraceContext("ab" * 16, "cd" * 8)
+        parsed = tracing.parse_traceparent(ctx.traceparent())
+        assert parsed == ctx
+        assert ctx.traceparent() == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "",
+            "00-short-id-01",
+            "00-" + "g" * 32 + "-" + "1" * 16 + "-01",  # non-hex
+            "00-" + "a" * 32 + "-" + "b" * 16,  # 3 parts
+            "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # wrong length
+            42,
+        ],
+    )
+    def test_malformed_traceparent_is_none(self, bad):
+        assert tracing.parse_traceparent(bad) is None
+
+    def test_ambient_context_nests_and_restores(self, monkeypatch):
+        enable(monkeypatch)
+        assert tracing.current_context() is None
+        with tracing.span("outer") as outer:
+            assert tracing.current_context() == outer.context()
+            with tracing.span("inner") as inner:
+                assert inner.span.trace_id == outer.span.trace_id
+                assert inner.span.parent_id == outer.span.span_id
+            assert tracing.current_context() == outer.context()
+        assert tracing.current_context() is None
+
+    def test_explicit_parent_joins_remote_trace(self, monkeypatch):
+        enable(monkeypatch)
+        remote = tracing.TraceContext("12" * 16, "34" * 8)
+        with tracing.span("child", parent=remote) as sp:
+            assert sp.span.trace_id == remote.trace_id
+            assert sp.span.parent_id == remote.span_id
+        with tracing.span("root", parent=None) as sp:
+            assert sp.span.parent_id is None
+
+    def test_exception_marks_span_error(self, monkeypatch):
+        enable(monkeypatch)
+        with pytest.raises(ValueError):
+            with tracing.span("boom"):
+                raise ValueError("nope")
+        (span,) = tracing.recorder.spans()
+        assert span.status == "error"
+        assert "ValueError: nope" in span.error
+
+    def test_record_span_synthesizes_finished_interval(self, monkeypatch):
+        enable(monkeypatch)
+        parent = tracing.TraceContext("ab" * 16, "cd" * 8)
+        tracing.record_span("pool.queue_wait", parent, 10.0, 10.25, index=3)
+        (span,) = tracing.recorder.spans()
+        assert span.name == "pool.queue_wait"
+        assert span.parent_id == parent.span_id
+        assert span.duration == pytest.approx(0.25)
+        assert span.attributes == {"index": 3}
+
+
+# -- disabled path ------------------------------------------------------------
+
+
+class TestDisabledPath:
+    def test_span_is_the_shared_null_singleton(self):
+        assert tracing.span("anything") is tracing.NULL_SPAN
+        assert tracing.start_span("x", parent=None) is tracing.NULL_SPAN
+        assert tracing.current_traceparent() is None
+        assert tracing.drain_spans() == []
+        with tracing.span("ctx") as sp:
+            assert sp is tracing.NULL_SPAN
+            assert sp.set(a=1) is tracing.NULL_SPAN
+        assert tracing.recorder.spans() == []
+
+    def test_disabled_hot_path_allocates_nothing_in_trace_module(self):
+        # Warm every code path once so memos and caches are populated.
+        with tracing.span("warm", probe=1):
+            tracing.current_traceparent()
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot()
+            for _ in range(200):
+                with tracing.span("hot", index=0):
+                    tracing.current_traceparent()
+                tracing.drain_spans()
+            after = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        ours = [
+            tracemalloc.Filter(True, tracing.__file__),
+        ]
+        growth = [
+            stat
+            for stat in after.filter_traces(ours).compare_to(
+                before.filter_traces(ours), "lineno"
+            )
+            if stat.size_diff > 0
+        ]
+        assert not growth, [str(stat) for stat in growth]
+
+    def test_traced_results_are_bit_identical(self, monkeypatch):
+        baseline = sim_once()
+        enable(monkeypatch)
+        assert sim_once() == baseline
+
+
+# -- flight recorder and spill ------------------------------------------------
+
+
+class TestFlightRecorder:
+    def test_ring_buffer_is_bounded(self, monkeypatch):
+        enable(monkeypatch)
+        recorder = tracing.FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.record(
+                tracing._make_span(f"s{index}", None, {})
+            )
+        assert recorder.recorded == 10
+        assert [s.name for s in recorder.spans()] == ["s6", "s7", "s8", "s9"]
+
+    def test_drain_and_absorb_round_trip(self, monkeypatch):
+        enable(monkeypatch)
+        with tracing.span("worker.op", index=7):
+            pass
+        shipped = tracing.drain_spans()
+        assert tracing.recorder.spans() == []
+        parent = tracing.FlightRecorder()
+        parent.absorb(shipped)
+        assert parent.absorbed == 1
+        (span,) = parent.spans()
+        assert (span.name, span.attributes) == ("worker.op", {"index": 7})
+
+    def test_find_by_exact_id_and_prefix(self, monkeypatch):
+        enable(monkeypatch)
+        with tracing.span("a", parent=None) as first:
+            pass
+        with tracing.span("b", parent=None):
+            pass
+        trace_id = first.span.trace_id
+        assert [s.name for s in tracing.recorder.find(trace_id)] == ["a"]
+        assert [s.name for s in tracing.recorder.find(trace_id[:8])] == ["a"]
+
+    def test_spans_spill_to_disk_per_process(self, monkeypatch, tmp_path):
+        enable(monkeypatch, directory=tmp_path / "spans")
+        with tracing.span("spilled", index=1):
+            pass
+        path = tracing.spill_path()
+        assert path is not None and path.exists()
+        assert path.name == f"spans-{os.getpid()}.jsonl"
+        (record,) = [json.loads(line) for line in path.read_text().splitlines()]
+        assert record["name"] == "spilled"
+        # The spill survives a recorder wipe: it is the crash-safe copy.
+        tracing.recorder.clear()
+        assert path.exists() and path.read_text()
+
+    def test_dump_writes_buffered_spans(self, monkeypatch, tmp_path):
+        enable(monkeypatch)
+        with tracing.span("kept"):
+            pass
+        target = tracing.recorder.dump(tmp_path / "dump" / "flight.jsonl")
+        (record,) = [json.loads(line) for line in target.read_text().splitlines()]
+        assert record["name"] == "kept"
+
+
+# -- simulator integration ----------------------------------------------------
+
+
+class TestSimulatorSpans:
+    def test_batch_span_tree_is_conserved(self, monkeypatch):
+        enable(monkeypatch)
+        jobs = suite_jobs(
+            ("ora",),
+            ("PI4",),
+            ("sequential", "collapsing_buffer"),
+            length=2_000,
+            warmup=400,
+        )
+        run_batch(jobs, processes=1)
+        spans = tracing.recorder.spans()
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id not in by_id]
+        assert [s.name for s in roots] == ["batch.run"]
+        (root,) = roots
+        assert all(s.trace_id == root.trace_id for s in spans)
+        children = [s for s in spans if s.parent_id == root.span_id]
+        assert [s.name for s in children] == ["batch.job", "batch.job"]
+        # Serial children run back to back: their durations sum to no
+        # more than the root's, and each nests inside its parent.
+        assert sum(s.duration for s in children) <= root.duration + 0.05
+        for span in spans:
+            parent = by_id.get(span.parent_id)
+            if parent is not None:
+                assert span.start >= parent.start - 1e-3
+                assert span.duration <= parent.duration + 0.05
+
+    def test_kernel_mode_record_then_replay(self, monkeypatch):
+        enable(monkeypatch)
+        workload = load_workload("ora")
+        trace = generate_trace(workload.program, workload.behavior, 2_000, seed=0)
+        machine = get_machine("PI4")
+        first = Simulator(machine, trace, "sequential", warmup=400).run()
+        second = Simulator(machine, trace, "sequential", warmup=400).run()
+        assert first == second
+        modes = [
+            s.attributes.get("kernel.mode")
+            for s in tracing.recorder.spans()
+            if s.name == "sim.kernel"
+        ]
+        assert modes == ["record", "replay"]
+
+    def test_cache_span_outcomes(self, monkeypatch):
+        from repro.sim import cache
+
+        enable(monkeypatch)
+        key = ("trace-span-outcomes", 1)
+        assert cache.get_or_compute("test_kind", key, lambda: 41) == 41
+        assert cache.get_or_compute("test_kind", key, lambda: 42) == 41
+        outcomes = [
+            s.attributes.get("outcome")
+            for s in tracing.recorder.spans()
+            if s.name == "sim.cache"
+        ]
+        assert outcomes == ["computed", "hit"]
+        kinds = {
+            s.attributes.get("kind")
+            for s in tracing.recorder.spans()
+            if s.name == "sim.cache"
+        }
+        assert kinds == {"test_kind"}
+
+
+# -- Chrome export ------------------------------------------------------------
+
+
+class TestChromeExport:
+    def test_real_spans_export_valid_chrome_document(self, monkeypatch):
+        enable(monkeypatch)
+        with tracing.span("outer", label="x"):
+            with tracing.span("inner"):
+                pass
+        document = tracing.to_chrome(tracing.recorder.spans())
+        assert tracing.validate_chrome(document) == []
+        inner, outer = sorted(
+            document["traceEvents"], key=lambda e: e["name"]
+        )
+        assert outer["ph"] == "X" and outer["args"]["label"] == "x"
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert outer["ts"] <= inner["ts"]
+
+    def test_validator_rejects_malformed_documents(self):
+        assert tracing.validate_chrome([]) == ["document is not a JSON object"]
+        assert tracing.validate_chrome({}) == ["missing traceEvents array"]
+        problems = tracing.validate_chrome(
+            {"traceEvents": [{"name": 3, "ph": "X", "ts": "late", "pid": 1, "tid": 1}]}
+        )
+        assert any("name" in p for p in problems)
+        assert any("ts" in p for p in problems)
+        assert any("dur" in p for p in problems)
+
+
+# -- timeline (repro trace) ---------------------------------------------------
+
+
+def make_span(name, trace_id, span_id, parent_id, start, duration, **attrs):
+    return tracing.Span(
+        name=name,
+        trace_id=trace_id,
+        span_id=span_id,
+        parent_id=parent_id,
+        start=start,
+        duration=duration,
+        attributes=attrs,
+        process="main",
+        pid=1,
+    )
+
+
+class TestTimeline:
+    def synthetic(self):
+        t1, t2 = "a" * 32, "b" * 32
+        return [
+            make_span("root", t1, "r1", None, 100.0, 1.0),
+            make_span("child", t1, "c1", "r1", 100.1, 0.6, index=0),
+            make_span("leaf", t1, "l1", "c1", 100.2, 0.4),
+            make_span("other", t2, "r2", None, 200.0, 0.5),
+        ]
+
+    def test_load_dir_skips_garbage_lines(self, tmp_path):
+        good = self.synthetic()[0].as_dict()
+        path = tmp_path / "spans-1.jsonl"
+        path.write_text(
+            json.dumps(good) + "\n" + "{torn...\n" + '{"no": "trace id"}\n'
+        )
+        (tmp_path / "notes.txt").write_text("ignored\n")
+        spans = timeline.load_dir(tmp_path)
+        assert [s.name for s in spans] == ["root"]
+
+    def test_find_trace_prefix_rules(self):
+        spans = self.synthetic()
+        assert len(timeline.find_trace(spans, "a" * 32)) == 3
+        assert len(timeline.find_trace(spans, "bbbb")) == 1
+        with pytest.raises(ValueError):
+            timeline.find_trace(spans, "zzzz")
+
+    def test_summaries_and_listing(self):
+        spans = self.synthetic()
+        newest, oldest = timeline.trace_summaries(spans)
+        assert newest["root"] == "other" and oldest["root"] == "root"
+        assert oldest["spans"] == 3
+        listing = timeline.render_listing(spans)
+        assert "root span" in listing and "other" in listing
+
+    def test_render_tree_shows_nesting_and_attributes(self):
+        tree = timeline.render_tree(timeline.find_trace(self.synthetic(), "a" * 32))
+        lines = tree.splitlines()
+        assert lines[0].startswith("trace ")
+        assert "  - root" in lines[1]
+        assert "    - child" in lines[2] and "index=0" in lines[2]
+        assert "      - leaf" in lines[3]
+
+    def test_critical_path_self_time(self):
+        rows = timeline.critical_path(self.synthetic(), top=10)
+        by_name = {row["name"]: row for row in rows}
+        # root: 1.0s total minus the 0.6s child interval = 0.4s self.
+        assert by_name["root"]["self"] == pytest.approx(0.4, abs=1e-6)
+        assert by_name["child"]["self"] == pytest.approx(0.2, abs=1e-6)
+        assert by_name["leaf"]["self"] == pytest.approx(0.4, abs=1e-6)
+        table = timeline.render_critical_path(self.synthetic())
+        assert "self time" in table
