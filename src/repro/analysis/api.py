@@ -12,7 +12,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.analysis import concurrency, error_codes, fault_sites, knob_registry
+from repro.analysis import (
+    concurrency,
+    error_codes,
+    fault_sites,
+    knob_registry,
+    service_errors,
+)
 from repro.analysis.findings import Baseline, Finding
 from repro.analysis.project import Project, ProjectConfig
 
@@ -21,6 +27,7 @@ from repro.analysis.project import Project, ProjectConfig
 ANALYZERS: dict[str, Callable[[Project], list[Finding]]] = {
     "knob-registry": knob_registry.analyze,
     "concurrency": concurrency.analyze,
+    "service-errors": service_errors.analyze,
     "fault-sites": fault_sites.analyze,
     "error-codes": error_codes.analyze,
 }

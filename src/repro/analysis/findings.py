@@ -30,6 +30,7 @@ ANALYSIS_CODES: dict[str, str] = {
     "A020": "shared multiprocessing.Queue channel (crash-leaked feeder lock)",
     "A021": "blocking call inside an async def body",
     "A022": "locks acquired in inconsistent order across call sites",
+    "A023": "service-tier except swallows a network error without telemetry",
     # -- fault-site audit (A03x) --
     "A030": "fault-injection site fired in code but not declared in faults.SITES",
     "A031": "declared fault site never fired anywhere in the code",

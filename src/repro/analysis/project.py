@@ -36,6 +36,7 @@ class ProjectConfig:
     chaos_tests: tuple[str, ...] = (
         "tests/test_robustness.py",
         "tests/test_service.py",
+        "tests/test_cluster.py",
     )
     #: Basename of the knob-registry module (declares ``KNOBS``).
     registry_basename: str = "knobs.py"

@@ -1,0 +1,132 @@
+"""Service-tier error-swallowing lint (A023).
+
+The cluster balancer's whole failure model rests on *absorbed* network
+errors: a dead replica shows up as a ``ConnectionError`` that the
+failover path deliberately catches and retries elsewhere.  That is
+correct — but only if every such swallow leaves a trace.  An ``except
+ConnectionError: pass`` deep in the service tier silently converts a
+replica failure into nothing, and the operator's ejection counters,
+retry budget and chaos assertions all undercount reality.
+
+**A023** therefore flags any ``except`` clause *in the service package*
+that catches a network/OS error type and neither re-raises nor records
+telemetry in its body.  "Records telemetry" is recognised
+syntactically, matching the patterns the service tier actually uses:
+
+* any call whose terminal name contains ``record``
+  (``replica.record_failure(...)``, ``self._record_transport_error``);
+* a counter/timer call: ``.inc(...)``, ``.observe(...)``,
+  ``.add_time(...)``;
+* a span-status call: ``.set(...)`` (the ``SpanHandle`` attribute
+  setter the balancer uses to mark a try failed).
+
+A handler that re-raises (any ``raise``) is exempt — the error is not
+swallowed.  Handlers outside the service package are out of scope:
+simulation code has its own error discipline, and cache/fault layers
+intentionally absorb ``OSError`` behind their own counters.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project, dotted_name
+
+#: Exception type names (terminal identifier) whose swallowing must be
+#: accounted: the network/OS errors a balancer turns into failover.
+NETWORK_ERROR_TYPES = frozenset(
+    {
+        "OSError",
+        "IOError",
+        "ConnectionError",
+        "ConnectionResetError",
+        "ConnectionRefusedError",
+        "ConnectionAbortedError",
+        "BrokenPipeError",
+        "IncompleteReadError",
+    }
+)
+# ``TimeoutError`` is deliberately absent: the service tier catches it
+# on *intentional* waits (keep-alive idle timeouts, long-poll expiry)
+# where the timeout IS the normal outcome.  Timeouts that mean "replica
+# failed" are caught alongside ``OSError`` in the failover paths, which
+# this lint still covers.
+
+#: Method names that count as recording telemetry.
+TELEMETRY_CALLS = frozenset({"inc", "observe", "add_time", "set"})
+
+
+def _caught_types(handler: ast.ExceptHandler) -> set[str]:
+    """Terminal names of the exception types a handler catches."""
+    node = handler.type
+    if node is None:
+        return set()
+    nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: set[str] = set()
+    for item in nodes:
+        name = dotted_name(item)
+        if name:
+            names.add(name.rsplit(".", 1)[-1])
+    return names
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _handler_accounts(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or records telemetry."""
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name and ("record" in name or name in TELEMETRY_CALLS):
+                return True
+    return False
+
+
+def _service_files(project: Project) -> list:
+    """Source files inside the service package (a directory literally
+    named ``service`` under the source tree)."""
+    return [
+        path
+        for path in project.source_files()
+        if "service" in path.parent.parts
+    ]
+
+
+def analyze(project: Project) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in _service_files(project):
+        tree = project.tree(path)
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            swallowed = sorted(_caught_types(node) & NETWORK_ERROR_TYPES)
+            if not swallowed:
+                continue
+            if _handler_accounts(node):
+                continue
+            findings.append(
+                Finding(
+                    code="A023",
+                    path=project.relative(path),
+                    line=node.lineno,
+                    subject=",".join(swallowed),
+                    message=(
+                        f"except clause swallows {', '.join(swallowed)} "
+                        "without recording a telemetry counter or span "
+                        "status (and does not re-raise) — a silent "
+                        "network failure in the service tier"
+                    ),
+                )
+            )
+    return findings

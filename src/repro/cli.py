@@ -29,8 +29,12 @@ Commands:
   sites, error codes; exit 1 on any non-baselined finding).
 * ``serve`` — start the simulation service (HTTP/JSON job server over
   the supervised worker engine; see ``docs/service.md``).
+* ``balance`` — spawn N ``serve`` replicas and front them with the
+  fault-tolerant cluster balancer (consistent-hash routing, health
+  gating, budgeted failover; see ``docs/service.md``).
 * ``loadgen`` — benchmark a running service and write
-  ``BENCH_service_throughput.json``.
+  ``BENCH_service_throughput.json``; ``--cluster`` adds the
+  zero-lost-requests bit-identity gauntlet against a balancer.
 * ``trace`` — inspect spans recorded with ``REPRO_TRACE=1`` (or the
   ``--trace DIR`` flag on ``sweep``/``serve``): list traces, render one
   as a tree with a critical-path table, export Chrome/Perfetto JSON.
@@ -682,18 +686,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         drain_timeout=args.drain_timeout,
         start_method=args.start_method,
+        quiet=args.quiet,
+        name=args.name,
+    )
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    from repro.service.cluster import run_cluster
+
+    if args.trace is not None:
+        _activate_tracing(args.trace)
+    return run_cluster(
+        replicas=args.replicas,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        job_timeout=args.timeout,
+        quiet=args.quiet,
     )
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.service.loadgen import run_loadgen
 
+    output = args.output
+    if args.cluster and output == "BENCH_service_throughput.json":
+        # Don't clobber the single-replica artifact by default.
+        output = "BENCH_cluster_throughput.json"
     report = run_loadgen(
         host=args.host,
         port=args.port,
         clients=args.clients,
         duration=args.duration,
-        output=None if args.output == "-" else args.output,
+        output=None if output == "-" else output,
+        cluster=args.cluster,
     )
     return 0 if report["passed"] or not args.strict else 1
 
@@ -1083,7 +1110,66 @@ def build_parser() -> argparse.ArgumentParser:
             "there for 'repro trace' (REPRO_TRACE_DIR)"
         ),
     )
+    serve.add_argument(
+        "--name",
+        default="",
+        help=(
+            "replica name (prefixes job ids, e.g. r1-job-000001, so a "
+            "cluster balancer can route polls to the owning replica)"
+        ),
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress startup banner"
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    balance = sub.add_parser(
+        "balance",
+        help="front a fleet of serve replicas with a balancer",
+    )
+    balance.add_argument("--host", default="127.0.0.1")
+    balance.add_argument(
+        "--port", type=int, default=8100, help="balancer listening port"
+    )
+    balance.add_argument(
+        "--replicas",
+        type=int,
+        default=3,
+        help="number of serve replicas to spawn and supervise",
+    )
+    balance.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per replica (0 = in-process serial)",
+    )
+    balance.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="per-replica admission bound (429 beyond it)",
+    )
+    balance.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job timeout passed to every replica",
+    )
+    balance.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "trace every request (REPRO_TRACE=1); with DIR, spill spans "
+            "there for 'repro trace' (REPRO_TRACE_DIR)"
+        ),
+    )
+    balance.add_argument(
+        "--quiet", action="store_true", help="suppress startup banner"
+    )
+    balance.set_defaults(func=_cmd_balance)
 
     loadgen = sub.add_parser(
         "loadgen", help="benchmark a running simulation service"
@@ -1101,6 +1187,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict",
         action="store_true",
         help="exit 1 if the throughput/latency floors are missed",
+    )
+    loadgen.add_argument(
+        "--cluster",
+        action="store_true",
+        help=(
+            "cluster gauntlet: verify every result bit-for-bit against "
+            "an in-process reference and require zero failed requests "
+            "(writes BENCH_cluster_throughput.json by default)"
+        ),
     )
     loadgen.set_defaults(func=_cmd_loadgen)
 

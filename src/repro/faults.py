@@ -40,6 +40,8 @@ site                      fired from                   kinds
 ``cache.store``           result-cache store           ``oserror``
 ``service.queue``         service job admission        ``exc``
 ``service.handoff``       pool worker dispatch         ``exc``
+``service.replica``       cluster replica monitor      ``crash`` ``hang`` ``exc``
+``cache.shard``           sharded cache shard I/O      ``oserror``
 ``telemetry.trace``       flight-recorder append       ``exc``
 ========================  ===========================  =========================
 
@@ -54,6 +56,16 @@ special: an injected fault there does not fail the run — it makes
 fires on every flight-recorder append and is likewise non-fatal by
 construction: an injected fault drops that span (counted in the
 recorder's ``dropped``) without ever failing the traced operation.
+
+The cluster tier (PR 9) adds two *advisory* sites the call sites apply
+themselves: ``service.replica`` fires once per monitor tick per replica
+in the :class:`~repro.service.cluster.ClusterManager` — ``crash``
+SIGKILLs the replica process (the manager respawns it), ``hang``
+SIGSTOPs it for ``s`` seconds (the balancer ejects and later recovers
+it), ``exc`` degrades to :class:`FaultInjected` inside the monitor —
+and ``cache.shard`` fires on sharded result-cache I/O, where
+``oserror`` poisons that shard's reads/writes with ``EROFS`` so the
+shard (and only that shard) degrades to compute-through.
 
 Determinism: a *tokened* site (``batch.worker`` passes the job index as
 token and the retry attempt number) decides by hashing ``(seed, site,
@@ -103,6 +115,8 @@ SITES = (
     "cache.store",
     "service.queue",
     "service.handoff",
+    "service.replica",
+    "cache.shard",
     "telemetry.trace",
 )
 

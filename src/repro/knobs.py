@@ -130,6 +130,22 @@ KNOBS: tuple[KnobSpec, ...] = (
         description="root directory of the persistent result cache",
     ),
     KnobSpec(
+        name="REPRO_CACHE_SHARDS",
+        type="str",
+        default="",
+        cache_policy="exempt",
+        reason=(
+            "selects which directories hold which entries (consistent "
+            "hashing over shard roots), not what the entries contain; "
+            "like REPRO_CACHE_DIR, shards can never serve each other's "
+            "files because the key digest picks exactly one of them"
+        ),
+        description=(
+            "os.pathsep-separated shard directories for the sharded "
+            "result-cache tier (unset: single shard at REPRO_CACHE_DIR)"
+        ),
+    ),
+    KnobSpec(
         name="REPRO_CACHE_CLAIM_TTL",
         type="float",
         default="120",
@@ -175,6 +191,61 @@ KNOBS: tuple[KnobSpec, ...] = (
             "untraced runs produce bit-identical results"
         ),
         description="record distributed-tracing spans (flight recorder)",
+    ),
+    KnobSpec(
+        name="REPRO_BALANCE_PROBE_INTERVAL",
+        type="float",
+        default="0.5",
+        cache_policy="exempt",
+        reason=(
+            "paces the balancer's active /readyz probes; routing policy "
+            "never reaches a simulation's inputs or outputs"
+        ),
+        description="seconds between balancer health probes per replica",
+    ),
+    KnobSpec(
+        name="REPRO_BALANCE_EJECT_ERRORS",
+        type="int",
+        default="3",
+        cache_policy="exempt",
+        reason=(
+            "passive failure-detection threshold in the balancer; "
+            "affects which replica computes a job, never the result"
+        ),
+        description="consecutive replica errors before ejection",
+    ),
+    KnobSpec(
+        name="REPRO_BALANCE_EJECT_LATENCY",
+        type="float",
+        default="5.0",
+        cache_policy="exempt",
+        reason=(
+            "EWMA-latency ejection threshold in the balancer; a slow "
+            "replica is routed around, the simulation value is unchanged"
+        ),
+        description="EWMA request latency (seconds) that ejects a replica",
+    ),
+    KnobSpec(
+        name="REPRO_BALANCE_RETRY_BUDGET",
+        type="float",
+        default="0.2",
+        cache_policy="exempt",
+        reason=(
+            "caps balancer failover retries as a fraction of requests; "
+            "retried jobs are idempotent and bit-identical by design"
+        ),
+        description="failover retries allowed per forwarded request (ratio)",
+    ),
+    KnobSpec(
+        name="REPRO_BALANCE_TRY_TIMEOUT",
+        type="float",
+        default="10.0",
+        cache_policy="exempt",
+        reason=(
+            "per-attempt forwarding timeout in the balancer; a timed-out "
+            "attempt is replayed elsewhere and yields the same value"
+        ),
+        description="seconds the balancer allows one forwarded attempt",
     ),
     KnobSpec(
         name="REPRO_TRACE_DIR",

@@ -4,26 +4,35 @@
 validates requests with ``repro.check``, coalesces identical in-flight
 requests (single flight), serves repeats from the persistent result
 cache, applies bounded-queue admission control (HTTP 429 +
-``Retry-After``), and drains gracefully on SIGTERM.  ``repro loadgen``
-benchmarks it.  See ``docs/service.md``.
+``Retry-After``), and drains gracefully on SIGTERM.  ``repro balance``
+spawns N such replicas and fronts them with a fault-tolerant balancer
+(consistent-hash routing, health-gated failover, budgeted retries —
+see ``repro.service.balancer`` / ``repro.service.cluster``).
+``repro loadgen`` benchmarks either.  See ``docs/service.md``.
 """
 
+from repro.service.balancer import Balancer, ReplicaState
 from repro.service.client import JobFailed, ServiceClient, ServiceError
+from repro.service.cluster import ClusterManager, run_cluster
 from repro.service.loadgen import run_loadgen
 from repro.service.protocol import ValidationError, job_key, validate_job
 from repro.service.scheduler import Draining, JobScheduler, QueueFull
 from repro.service.server import ServiceServer, serve
 
 __all__ = [
+    "Balancer",
+    "ClusterManager",
     "Draining",
     "JobFailed",
     "JobScheduler",
     "QueueFull",
+    "ReplicaState",
     "ServiceClient",
     "ServiceError",
     "ServiceServer",
     "ValidationError",
     "job_key",
+    "run_cluster",
     "run_loadgen",
     "serve",
     "validate_job",

@@ -5,10 +5,20 @@ load generator share one well-behaved access path:
 
 * retries transient failures (connection errors, 429, 503) with
   exponential backoff, honoring the server's ``Retry-After`` header
-  when present;
+  when present — but never past the caller's **total deadline budget**:
+  every retry (and every ``Retry-After`` the server suggests) is
+  clipped against the one deadline ``run_job`` was given, so failover
+  retries can never stretch a request beyond what the caller allowed;
 * ``run_job`` submits with ``?wait=`` long-polling and keeps polling
   past the server's per-request wait ceiling until the job is terminal,
-  so callers never busy-loop.
+  so callers never busy-loop;
+* when a poll comes back 404 for a job this client submitted — the
+  serving replica died and took its in-memory record with it —
+  ``run_job`` *reroutes*: it resubmits the identical (idempotent) job,
+  which a cluster balancer lands on a surviving replica.  The returned
+  record carries ``attempts`` (HTTP attempts spent, retries included)
+  and ``rerouted`` (how many such resubmissions happened) so callers
+  and loadgen can see failover happening instead of inferring it.
 
 With ``REPRO_TRACE=1`` the client opens a ``client.request`` span per
 :meth:`~ServiceClient.run_job` (with ``client.submit``/``client.poll``
@@ -27,7 +37,13 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
+from repro.telemetry import MetricsRegistry
 from repro.telemetry import trace as tracing
+
+#: Client-side transport counters (connection errors swallowed by the
+#: retry loop, reroutes after a lost job) — the telemetry the A023 lint
+#: requires wherever a ``ConnectionError``/``OSError`` is absorbed.
+CLIENT_METRICS = MetricsRegistry()
 
 
 class ServiceError(RuntimeError):
@@ -74,6 +90,10 @@ class ServiceClient:
         self.last_run_server_seconds: float = 0.0
         #: Trace id of the most recent :meth:`run_job` (None untraced).
         self.last_trace_id: str | None = None
+        #: HTTP attempts (retries included) of the most recent
+        #: :meth:`run_job`, and how many times it rerouted a lost job.
+        self.last_run_attempts: int = 0
+        self.last_run_rerouted: int = 0
 
     # plumbing --------------------------------------------------------------
 
@@ -121,18 +141,40 @@ class ServiceClient:
             decoded = {"raw": data.decode("latin-1", "replace")}
         return Response(raw.status, decoded, headers)
 
-    def request(self, method: str, path: str, body: dict | None = None) -> Response:
+    def _record_transport_error(self, exc: Exception) -> None:
+        """Account a connection-level failure the retry loop absorbs."""
+        CLIENT_METRICS.inc("client.transport_errors")
+        CLIENT_METRICS.inc(f"client.transport_errors.{type(exc).__name__}")
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        deadline: float | None = None,
+    ) -> Response:
         """One logical request: retries 429/503/connection errors with
-        backoff (honoring ``Retry-After``); other statuses return as-is."""
+        backoff (honoring ``Retry-After``); other statuses return as-is.
+
+        *deadline* is an absolute ``time.monotonic()`` budget shared by
+        every retry of the whole logical operation: once sleeping for
+        the next attempt would cross it, the loop gives up with the last
+        error instead — a server ``Retry-After`` can therefore delay a
+        retry but never extend the caller's total wait.
+        """
         delay = self.backoff
         last: Exception | None = None
+        attempts = 0
         for attempt in range(self.max_retries + 1):
+            attempts += 1
             try:
                 response = self._request_once(method, path, body)
             except (http.client.HTTPException, OSError) as exc:
+                self._record_transport_error(exc)
                 last = exc
             else:
                 if response.status not in (429, 503):
+                    self.last_run_attempts += attempts
                     return response
                 last = ServiceError(response.status, response.payload)
                 retry_after = response.headers.get("retry-after")
@@ -143,8 +185,14 @@ class ServiceClient:
                         pass
             if attempt == self.max_retries:
                 break
-            time.sleep(min(delay, self.max_backoff))
+            sleep = min(delay, self.max_backoff)
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or sleep > remaining:
+                    break  # the budget is spent; don't start a doomed wait
+            time.sleep(sleep)
             delay = min(delay * 2, self.max_backoff)
+        self.last_run_attempts += attempts
         assert last is not None
         raise last if isinstance(last, ServiceError) else ServiceError(
             0, f"connection failed: {last}"
@@ -158,19 +206,23 @@ class ServiceClient:
     def metrics(self) -> dict:
         return self._expect_ok(self.request("GET", "/metrics"))
 
-    def submit(self, job: dict, wait: float = 0.0) -> dict:
+    def submit(
+        self, job: dict, wait: float = 0.0, deadline: float | None = None
+    ) -> dict:
         """Submit one job; returns the job record (maybe still running)."""
         path = "/v1/jobs" + (f"?wait={wait:g}" if wait > 0 else "")
         with tracing.span("client.submit"):
-            response = self.request("POST", path, job)
+            response = self.request("POST", path, job, deadline=deadline)
         if response.status not in (200, 202):
             raise ServiceError(response.status, response.payload)
         return response.payload
 
-    def poll(self, job_id: str, wait: float = 0.0) -> dict:
+    def poll(
+        self, job_id: str, wait: float = 0.0, deadline: float | None = None
+    ) -> dict:
         path = f"/v1/jobs/{job_id}" + (f"?wait={wait:g}" if wait > 0 else "")
         with tracing.span("client.poll"):
-            response = self.request("GET", path)
+            response = self.request("GET", path, deadline=deadline)
         if response.status not in (200, 202):
             raise ServiceError(response.status, response.payload)
         return response.payload
@@ -183,27 +235,54 @@ class ServiceClient:
     def run_job(self, job: dict, wait: float = 30.0, deadline: float = 600.0) -> dict:
         """Submit and block until terminal; returns the ``done`` record.
 
+        *deadline* is the **total budget in seconds** for the whole
+        operation — submission retries, polls, backoff sleeps and
+        reroutes all draw from it; no retry policy (the server's
+        ``Retry-After`` included) can exceed it.  If the serving replica
+        dies and a poll comes back 404 (its in-memory record is gone),
+        the identical job is resubmitted — idempotent by construction —
+        and the reroute is surfaced on the returned record
+        (``rerouted``), alongside the HTTP ``attempts`` spent.
+
         Raises :class:`JobFailed` if the simulation failed, or
         :class:`ServiceError` on timeout/rejection.
         """
         self.last_run_server_seconds = 0.0
         self.last_trace_id = None
+        self.last_run_attempts = 0
+        self.last_run_rerouted = 0
+        stop = time.monotonic() + deadline
         with tracing.span("client.request") as sp:
             if sp.span is not None:
                 self.last_trace_id = sp.span.trace_id
-            record = self.submit(job, wait=wait)
+            record = self.submit(job, wait=wait, deadline=stop)
             self._accumulate_server_seconds(record)
-            stop = time.monotonic() + deadline
             while record["status"] == "running":
                 if time.monotonic() > stop:
                     raise ServiceError(
                         202,
                         f"job {record['id']} still running after {deadline}s",
                     )
-                record = self.poll(record["id"], wait=wait)
+                try:
+                    record = self.poll(record["id"], wait=wait, deadline=stop)
+                except ServiceError as exc:
+                    if exc.status != 404 or time.monotonic() > stop:
+                        raise
+                    # The replica holding this job died between our
+                    # requests (balancer failover): its record is gone,
+                    # but the job is idempotent — resubmit and land on a
+                    # surviving replica.
+                    CLIENT_METRICS.inc("client.rerouted_jobs")
+                    self.last_run_rerouted += 1
+                    if sp.span is not None:
+                        sp.set(rerouted=self.last_run_rerouted)
+                    record = self.submit(job, wait=wait, deadline=stop)
                 self._accumulate_server_seconds(record)
         if record["status"] == "failed":
             raise JobFailed(200, record)
+        record = dict(record)
+        record["attempts"] = self.last_run_attempts
+        record["rerouted"] = self.last_run_rerouted
         return record
 
     def _accumulate_server_seconds(self, record: dict) -> None:

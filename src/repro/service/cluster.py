@@ -1,0 +1,338 @@
+"""Replica supervision for the cluster balancer: ``repro balance``.
+
+:class:`ClusterManager` owns N ``repro serve`` replicas as child
+processes — spawning them on preallocated ports, watching them every
+monitor tick, and respawning whatever dies so the cluster's capacity
+recovers without an operator.  :func:`run_cluster` is the blocking CLI
+entry point that runs the manager and the
+:class:`~repro.service.balancer.Balancer` in one process: the balancer
+reroutes around a dead replica within a probe interval while the
+manager brings a fresh one up behind it.
+
+The manager is also the chaos hook for the ``service.replica`` fault
+site (``REPRO_FAULTS=...;service.replica=crash:p=0.1`` — see
+:mod:`repro.faults`): each monitor tick draws once per replica from the
+site's deterministic stream and injects the drawn failure into its own
+child — ``crash`` SIGKILLs the replica, ``hang`` SIGSTOPs it for the
+rule's ``s=`` seconds (a wedged-but-alive process, the failure mode
+health probes exist for), and ``exc`` raises
+:class:`~repro.faults.FaultInjected` out of :meth:`~ClusterManager.tick`
+(a monitor-side transient the run loop must absorb).  Everything
+downstream — ejection, failover, respawn, recovery — is the production
+code path; chaos tests only schedule when it fires.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro import faults
+from repro.service.balancer import Balancer, ReplicaState
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import trace as tracing
+
+#: Minimum seconds between respawns of the same replica (restart storm
+#: brake; a crash-looping replica stays ejected between attempts).
+RESPAWN_BACKOFF = 0.2
+
+#: Default SIGSTOP duration for a ``hang`` injection when the fault
+#: rule does not set ``s=``.
+DEFAULT_HANG_SECONDS = 2.0
+
+
+def _free_port(host: str) -> int:
+    """Preallocate a listening port (bind 0, read, close)."""
+    with socket.socket() as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+@dataclass
+class ReplicaProcess:
+    """One supervised ``repro serve`` child."""
+
+    name: str
+    host: str
+    port: int
+    proc: subprocess.Popen | None = None
+    respawns: int = 0
+    hung_until: float = 0.0
+    last_spawn: float = field(default=0.0)
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "address": f"{self.host}:{self.port}",
+            "pid": self.proc.pid if self.proc else None,
+            "alive": self.alive,
+            "respawns": self.respawns,
+            "hung": self.hung_until > 0.0,
+        }
+
+
+class ClusterManager:
+    """Spawn, monitor, fault-inject and respawn ``repro serve`` replicas."""
+
+    def __init__(
+        self,
+        count: int = 3,
+        host: str = "127.0.0.1",
+        workers: int = 1,
+        max_queue: int = 64,
+        job_timeout: float | None = None,
+        quiet: bool = True,
+    ) -> None:
+        if count < 1:
+            raise ValueError("cluster needs at least one replica")
+        self.host = host
+        self.workers = workers
+        self.max_queue = max_queue
+        self.job_timeout = job_timeout
+        self.quiet = quiet
+        self.registry = MetricsRegistry()
+        self.replicas = [
+            ReplicaProcess(f"r{i + 1}", host, _free_port(host))
+            for i in range(count)
+        ]
+
+    # spawning --------------------------------------------------------------
+
+    def _command(self, replica: ReplicaProcess) -> list[str]:
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            replica.host,
+            "--port",
+            str(replica.port),
+            "--workers",
+            str(self.workers),
+            "--max-queue",
+            str(self.max_queue),
+            "--name",
+            replica.name,
+        ]
+        if self.job_timeout is not None:
+            cmd += ["--timeout", str(self.job_timeout)]
+        if self.quiet:
+            cmd.append("--quiet")
+        return cmd
+
+    def _spawn(self, replica: ReplicaProcess) -> None:
+        # Children must import the same `repro` this process runs.
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            src_root + (os.pathsep + existing if existing else "")
+        )
+        replica.proc = subprocess.Popen(self._command(replica), env=env)
+        replica.last_spawn = time.monotonic()
+        replica.hung_until = 0.0
+        self.registry.inc("cluster.spawns")
+
+    def start(self) -> None:
+        for replica in self.replicas:
+            self._spawn(replica)
+
+    def wait_ready(self, timeout: float = 30.0) -> None:
+        """Block until every replica answers ``/readyz`` with 200."""
+        deadline = time.monotonic() + timeout
+        pending = list(self.replicas)
+        while pending and time.monotonic() < deadline:
+            still = []
+            for replica in pending:
+                if not self._probe_ready(replica):
+                    still.append(replica)
+            pending = still
+            if pending:
+                time.sleep(0.1)
+        if pending:
+            names = ", ".join(r.name for r in pending)
+            raise TimeoutError(f"replicas never became ready: {names}")
+
+    def _probe_ready(self, replica: ReplicaProcess) -> bool:
+        conn = http.client.HTTPConnection(
+            replica.host, replica.port, timeout=1.0
+        )
+        try:
+            conn.request("GET", "/readyz")
+            return conn.getresponse().status == 200
+        except OSError:
+            # Not up yet: expected while the replica boots, but counted
+            # so a replica that never comes up is visible in /metrics.
+            self.registry.inc("cluster.readiness_probe_errors")
+            return False
+        finally:
+            conn.close()
+
+    # monitoring ------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One monitor pass: resume hang injections whose window closed,
+        respawn dead replicas, and draw the ``service.replica`` fault
+        once per replica.  Raises :class:`~repro.faults.FaultInjected`
+        for an ``exc`` draw (the run loop absorbs and counts it)."""
+        now = time.monotonic()
+        for replica in self.replicas:
+            if replica.hung_until and now >= replica.hung_until:
+                self._resume(replica)
+            if not replica.alive:
+                if now - replica.last_spawn >= RESPAWN_BACKOFF:
+                    replica.respawns += 1
+                    self.registry.inc("cluster.respawns")
+                    self._spawn(replica)
+                continue
+            kind = faults.decide("service.replica")
+            if kind is None:
+                continue
+            self.registry.inc("cluster.faults_injected")
+            if kind == "crash":
+                self._crash(replica)
+            elif kind == "hang":
+                self._hang(replica, now)
+            else:  # "exc": a monitor-side transient
+                raise faults.FaultInjected(
+                    f"service.replica exc injection ({replica.name})"
+                )
+
+    def _crash(self, replica: ReplicaProcess) -> None:
+        self.registry.inc("cluster.crashes_injected")
+        if replica.proc is not None:
+            replica.proc.send_signal(signal.SIGKILL)
+
+    def _hang(self, replica: ReplicaProcess, now: float) -> None:
+        plan = faults.plan()
+        rule = plan.rules.get("service.replica") if plan else None
+        seconds = rule.seconds if rule is not None else DEFAULT_HANG_SECONDS
+        seconds = min(seconds, 3600.0)
+        self.registry.inc("cluster.hangs_injected")
+        if replica.proc is not None and replica.hung_until == 0.0:
+            replica.proc.send_signal(signal.SIGSTOP)
+            replica.hung_until = now + seconds
+
+    def _resume(self, replica: ReplicaProcess) -> None:
+        if replica.proc is not None and replica.alive:
+            replica.proc.send_signal(signal.SIGCONT)
+            self.registry.inc("cluster.resumes")
+        replica.hung_until = 0.0
+
+    # teardown --------------------------------------------------------------
+
+    def stop(self, grace: float = 5.0) -> None:
+        """SIGCONT anything stopped, SIGTERM everything, then SIGKILL
+        stragglers after *grace* seconds."""
+        for replica in self.replicas:
+            if replica.proc is None:
+                continue
+            if replica.hung_until:
+                self._resume(replica)
+            if replica.alive:
+                replica.proc.terminate()
+        deadline = time.monotonic() + grace
+        for replica in self.replicas:
+            if replica.proc is None:
+                continue
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                replica.proc.wait(remaining)
+            except subprocess.TimeoutExpired:
+                replica.proc.kill()
+                replica.proc.wait(5.0)
+
+    def info(self) -> dict:
+        return {
+            "replicas": [r.as_dict() for r in self.replicas],
+            "counters": dict(self.registry.as_dict()["counters"]),
+        }
+
+
+def run_cluster(
+    replicas: int = 3,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    workers: int = 1,
+    max_queue: int = 64,
+    job_timeout: float | None = None,
+    monitor_interval: float = 0.2,
+    quiet: bool = False,
+) -> int:
+    """Blocking entry point behind ``repro balance``: spawn the replica
+    fleet, front it with the balancer, monitor until SIGTERM/SIGINT."""
+    tracing.set_process_role("balancer")
+    manager = ClusterManager(
+        count=replicas,
+        host=host,
+        workers=workers,
+        max_queue=max_queue,
+        job_timeout=job_timeout,
+        quiet=True,
+    )
+    manager.start()
+    try:
+        manager.wait_ready()
+    except BaseException:
+        manager.stop()
+        raise
+    balancer = Balancer(
+        [ReplicaState(r.name, r.host, r.port) for r in manager.replicas],
+        host=host,
+        port=port,
+    )
+    balancer.cluster = manager
+
+    async def monitor() -> None:
+        while True:
+            try:
+                manager.tick()
+            except faults.FaultInjected:
+                # An injected monitor transient: skip this tick; the
+                # counter keeps the injection visible in /metrics.
+                manager.registry.inc("cluster.monitor_faults")
+            await asyncio.sleep(monitor_interval)
+
+    async def main() -> None:
+        actual = await balancer.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, balancer.request_shutdown)
+            except NotImplementedError:  # pragma: no cover - windows
+                pass
+        if not quiet:
+            fleet = ", ".join(
+                f"{r.name}@{r.port}" for r in manager.replicas
+            )
+            print(
+                f"repro balancer listening on http://{host}:{actual} "
+                f"— fronting {fleet}",
+                file=sys.stderr,
+            )
+        ticker = asyncio.create_task(monitor())
+        try:
+            await balancer.run()
+        finally:
+            ticker.cancel()
+            await asyncio.gather(ticker, return_exceptions=True)
+        if not quiet:
+            print("repro balancer stopped.", file=sys.stderr)
+
+    try:
+        asyncio.run(main())
+    finally:
+        manager.stop()
+    return 0

@@ -22,6 +22,17 @@ Each request also records the **server-reported** handling time (the
 submit + polls of one job), so the report shows client latency, server
 time and their delta side by side — queueing and network time used to
 be invisible in the client-only numbers.
+
+**Cluster mode** (``--cluster``, for a ``repro balance`` front end)
+turns the load test into a correctness gauntlet: before any traffic,
+every spec in the mix is simulated *in this process* to produce the
+reference results, and then **every** completed request — warm and
+timed, across failovers, reroutes and replica respawns — is checked
+bit-for-bit against its reference.  The report gains a ``cluster``
+section (result mismatches, HTTP attempts, reroutes) and ``passed``
+additionally requires **zero failed requests and zero mismatches**:
+under a chaos schedule this is the "no client-visible failures"
+acceptance gate.
 """
 
 from __future__ import annotations
@@ -80,6 +91,20 @@ def _percentile(samples: list[float], fraction: float) -> float:
     return ordered[index]
 
 
+def _reference_results(specs: list[dict]) -> list[dict]:
+    """Simulate every spec in-process: the ground truth cluster results
+    must match bit-for-bit (after the same JSON round trip the wire
+    applies — JSON has no tuples)."""
+    from repro.service.protocol import validate_job
+    from repro.sim.batch import _run_job
+
+    references = []
+    for spec in specs:
+        job = validate_job(dict(spec))
+        references.append(json.loads(json.dumps(_run_job(job).as_dict())))
+    return references
+
+
 def run_loadgen(
     host: str = "127.0.0.1",
     port: int = 8000,
@@ -89,16 +114,31 @@ def run_loadgen(
     wait: float = 30.0,
     output: str | Path | None = "BENCH_service_throughput.json",
     quiet: bool = False,
+    cluster: bool = False,
 ) -> dict:
     """Run the two-phase load test; returns (and optionally writes) the
-    report dict."""
+    report dict.  With *cluster* on, verify every result bit-for-bit
+    against an in-process reference run and require zero failures."""
     specs = list(mix or DEFAULT_MIX)
+    references = _reference_results(specs) if cluster else None
+
+    mismatches = 0
+    attempts_total = 0
+    rerouted_total = 0
+
+    def check_result(spec_index: int, record: dict) -> bool:
+        """True if the record matches its reference (cluster mode)."""
+        if references is None:
+            return True
+        return record.get("result") == references[spec_index]
 
     # Phase 1: warm every spec once (not measured).
     warm_started = time.monotonic()
     with ServiceClient(host, port) as client:
-        for spec in specs:
-            client.run_job(spec, wait=wait)
+        for spec_index, spec in enumerate(specs):
+            record = client.run_job(spec, wait=wait)
+            if not check_result(spec_index, record):
+                mismatches += 1
     warm_seconds = time.monotonic() - warm_started
 
     # Phase 2: timed closed loop.
@@ -109,26 +149,38 @@ def run_loadgen(
     stop_at = time.monotonic() + duration
 
     def worker(offset: int) -> None:
+        nonlocal mismatches, attempts_total, rerouted_total
         local: list[float] = []
         local_server: list[float] = []
         local_errors: list[str] = []
+        local_mismatches = 0
+        local_attempts = 0
+        local_rerouted = 0
         with ServiceClient(host, port) as client:
             index = offset
             while time.monotonic() < stop_at:
-                spec = specs[index % len(specs)]
+                spec_index = index % len(specs)
+                spec = specs[spec_index]
                 index += 1
                 started = time.monotonic()
                 try:
-                    client.run_job(spec, wait=wait)
+                    record = client.run_job(spec, wait=wait)
                 except ServiceError as exc:
                     local_errors.append(str(exc))
                     continue
                 local.append(time.monotonic() - started)
                 local_server.append(client.last_run_server_seconds)
+                local_attempts += record.get("attempts", 0) or 0
+                local_rerouted += record.get("rerouted", 0) or 0
+                if not check_result(spec_index, record):
+                    local_mismatches += 1
         with lock:
             latencies.extend(local)
             server_seconds.extend(local_server)
             errors.extend(local_errors)
+            mismatches += local_mismatches
+            attempts_total += local_attempts
+            rerouted_total += local_rerouted
 
     threads = [
         threading.Thread(target=worker, args=(i,), daemon=True)
@@ -194,6 +246,20 @@ def run_loadgen(
     }
     if errors:
         report["timed_phase"]["sample_errors"] = errors[:5]
+    if cluster:
+        # The zero-lost-requests gauntlet: against a balancer every
+        # request must complete AND match the in-process reference run
+        # bit-for-bit, failovers and reroutes included.
+        report["cluster"] = {
+            "requests_failed": len(errors),
+            "result_mismatches": mismatches,
+            "bit_identical": mismatches == 0,
+            "attempts_total": attempts_total,
+            "rerouted_total": rerouted_total,
+        }
+        report["passed"] = bool(
+            report["passed"] and not errors and mismatches == 0
+        )
 
     if output is not None:
         path = Path(output)
@@ -211,4 +277,13 @@ def run_loadgen(
             f"floor {THROUGHPUT_FLOOR_RPS:.0f} req/s, "
             f"p99 <= {P99_CEILING_SECONDS * 1000:.0f}ms]"
         )
+        if cluster:
+            section = report["cluster"]
+            print(
+                f"cluster: {section['requests_failed']} failed, "
+                f"{section['result_mismatches']} mismatched, "
+                f"{section['rerouted_total']} rerouted "
+                f"({section['attempts_total']} HTTP attempts) "
+                f"[{'bit-identical' if section['bit_identical'] else 'MISMATCH'}]"
+            )
     return report

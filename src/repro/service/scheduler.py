@@ -116,11 +116,17 @@ class JobScheduler:
         registry: MetricsRegistry | None = None,
         max_queue: int = 64,
         completed_capacity: int = 1024,
+        name: str = "",
     ) -> None:
         self.pool = pool
         self.registry = registry if registry is not None else MetricsRegistry()
         self.max_queue = max_queue
         self.completed_capacity = completed_capacity
+        #: Replica name: prefixes every job id (``r1-job-000001``) so a
+        #: cluster's front balancer can route a poll straight back to
+        #: the replica that issued the id.  Empty for a standalone
+        #: server (historical ``job-NNNNNN`` ids).
+        self.name = name
         self._lock = threading.Lock()
         self._by_id: dict[str, JobRecord] = {}
         self._inflight: dict[str, JobRecord] = {}
@@ -173,7 +179,10 @@ class JobScheduler:
             # request cleanly (the job is not yet accepted).
             faults.maybe_fail("service.queue", token=key)
             self._next_id += 1
-            record = JobRecord(id=f"job-{self._next_id:06d}", job=job, key=key)
+            prefix = f"{self.name}-" if self.name else ""
+            record = JobRecord(
+                id=f"{prefix}job-{self._next_id:06d}", job=job, key=key
+            )
             self._by_id[record.id] = record
             self._inflight[key] = record
             self.registry.inc("service.jobs_admitted")
@@ -303,12 +312,24 @@ class JobScheduler:
         with self._lock:
             return self._draining
 
+    def ready(self) -> bool:
+        """Readiness (distinct from liveness): workers spawned and not
+        draining — the ``/readyz`` predicate a balancer gates routing
+        on, so a replica still warming up (or already drawing down)
+        never receives traffic it would queue without serving."""
+        with self._lock:
+            if self._draining:
+                return False
+        return self.pool.ready
+
     def health(self) -> dict:
         with self._lock:
             depth = len(self._inflight)
             draining = self._draining
         return {
             "status": "draining" if draining else "ok",
+            "name": self.name or None,
+            "ready": self.ready(),
             "uptime_seconds": round(time.time() - self._started, 3),
             "queue_depth": depth,
             "max_queue": self.max_queue,
@@ -325,6 +346,7 @@ class JobScheduler:
             "memo": {"size": memo_size, "capacity": self.completed_capacity},
             "pool": self.pool.info(),
             "result_cache": result_cache.stats.as_dict(),
+            "result_cache_shards": result_cache.shard_stats(),
         }
 
     # shutdown --------------------------------------------------------------

@@ -15,8 +15,14 @@ status  meaning
 400     malformed JSON or a validation failure (every finding listed)
 404     unknown path or job id
 429     admission refused: queue full (``Retry-After`` header set)
-503     draining for shutdown, or an injected ``service.queue`` fault
+503     draining for shutdown, not ready (``/readyz``), or an injected
+        ``service.queue`` fault
 ====== ==============================================================
+
+``/healthz`` is *liveness* (the process answers); ``/readyz`` is
+*readiness* (workers spawned and not draining) — the cluster balancer
+routes only to ready replicas, so a replica still warming up or already
+draining never receives traffic it would strand.
 
 ``?wait=SECONDS`` on submission or polling long-polls for completion
 (bounded by ``max_wait``), so a synchronous client costs one round
@@ -200,7 +206,9 @@ class ServiceServer:
             ConnectionError,
             ValueError,
         ):
-            pass
+            # A torn connection only ends this keep-alive session; the
+            # counter keeps balancer-induced churn visible in /metrics.
+            self.scheduler.registry.inc("service.connection_errors")
         finally:
             try:
                 writer.close()
@@ -289,6 +297,15 @@ class ServiceServer:
 
         if path == "/healthz" and method == "GET":
             return 200, self.scheduler.health(), []
+        if path == "/readyz" and method == "GET":
+            ready = self.scheduler.ready()
+            payload = {
+                "ready": ready,
+                "name": self.scheduler.name or None,
+                "queue_depth": self.scheduler.queue_depth,
+                "max_queue": self.scheduler.max_queue,
+            }
+            return (200 if ready else 503), payload, []
         if path == "/metrics" and method == "GET":
             tree = self.scheduler.metrics()
             if self._wants_prometheus(query, headers):
@@ -307,7 +324,14 @@ class ServiceServer:
             return 200, {"traces": timeline.trace_summaries(spans)}, []
         if path.startswith("/v1/traces/") and method == "GET":
             return self._trace(path[len("/v1/traces/"):])
-        if path in ("/healthz", "/metrics", "/v1/jobs", "/v1/batch", "/v1/traces"):
+        if path in (
+            "/healthz",
+            "/readyz",
+            "/metrics",
+            "/v1/jobs",
+            "/v1/batch",
+            "/v1/traces",
+        ):
             return 405, {"error": f"method {method} not allowed"}, []
         return 404, {"error": f"no route for {path}"}, []
 
@@ -472,6 +496,7 @@ def serve(
     drain_timeout: float = 30.0,
     start_method: str | None = None,
     quiet: bool = False,
+    name: str = "",
 ) -> int:
     """Build the pool + scheduler + server and serve until a signal.
 
@@ -491,7 +516,7 @@ def serve(
         ),
         requested_start_method=start_method,
     )
-    scheduler = JobScheduler(pool, max_queue=max_queue)
+    scheduler = JobScheduler(pool, max_queue=max_queue, name=name)
     server = ServiceServer(scheduler, host=host, port=port)
 
     async def main() -> None:
@@ -503,8 +528,9 @@ def serve(
                 if info["serial"]
                 else f"{info['processes']} worker process(es)"
             )
+            label = f"repro service {name}" if name else "repro service"
             print(
-                f"repro service listening on http://{server.host}:{actual} "
+                f"{label} listening on http://{server.host}:{actual} "
                 f"— {mode}, queue bound {max_queue}",
                 file=sys.stderr,
             )

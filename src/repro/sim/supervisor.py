@@ -838,6 +838,10 @@ class WorkerPool:
         self._inbox: queue.Queue[_PoolTicket] = queue.Queue()
         self._live: dict[int, _PoolTicket] = {}
         self._draining = threading.Event()
+        #: Set once the worker processes are spawned (immediately for
+        #: serial pools) — the ``/readyz`` signal: a pool that has not
+        #: set this would queue jobs without anyone to run them.
+        self._workers_started = threading.Event()
         self._lock = threading.Lock()
         self._submitted = 0
         self._completed = 0
@@ -899,6 +903,11 @@ class WorkerPool:
         with self._lock:
             return self._unfinished
 
+    @property
+    def ready(self) -> bool:
+        """Workers spawned and intake open — the ``/readyz`` predicate."""
+        return self._workers_started.is_set() and not self._draining.is_set()
+
     def info(self) -> dict:
         """Snapshot for health/metrics endpoints."""
         with self._lock:
@@ -913,6 +922,8 @@ class WorkerPool:
                 "failed": self._failed,
                 "unfinished": self._unfinished,
                 "draining": self._draining.is_set(),
+                "ready": self._workers_started.is_set()
+                and not self._draining.is_set(),
             }
 
     # resolution bookkeeping ------------------------------------------------
@@ -993,6 +1004,7 @@ class WorkerPool:
                 return
 
     def _supervise_serial(self) -> None:
+        self._workers_started.set()
         while True:
             try:
                 ticket = self._inbox.get(timeout=self.config.poll_interval)
@@ -1094,6 +1106,7 @@ class WorkerPool:
                 self._requeue(pending, index, attempt, reason, "crashed")
 
         workers.extend(spawn() for _ in range(self.processes))
+        self._workers_started.set()
         try:
             while True:
                 while True:  # intake

@@ -230,7 +230,7 @@ class TestRegistryCoverage:
             discovered.update(token.findall(path.read_text()))
         assert discovered, "grep found no knobs at all?"
         assert discovered <= set(knobs.REGISTRY)
-        assert len(knobs.REGISTRY) == 11
+        assert len(knobs.REGISTRY) == 17
 
     def test_analyzer_sees_every_knob(self):
         project = Project(REPO_ROOT)
@@ -491,6 +491,124 @@ class TestConcurrencyAnalyzer:
         assert lint_codes(root) == set()
 
 
+# -- service-errors analyzer (A023) -------------------------------------------
+
+
+class TestServiceErrorsAnalyzer:
+    def test_swallowed_connection_error_flagged(self, tmp_path):
+        root = seed(
+            tmp_path,
+            {
+                "src/pkg/service/proxy.py": """
+                    def forward(sock):
+                        try:
+                            return sock.recv(1)
+                        except ConnectionError:
+                            pass
+                """
+            },
+        )
+        assert ("A023", "ConnectionError") in lint_codes(root)
+
+    def test_tuple_catch_reports_network_members_only(self, tmp_path):
+        root = seed(
+            tmp_path,
+            {
+                "src/pkg/service/proxy.py": """
+                    def forward(sock):
+                        try:
+                            return sock.recv(1)
+                        except (ValueError, OSError, BrokenPipeError):
+                            return None
+                """
+            },
+        )
+        assert ("A023", "BrokenPipeError,OSError") in lint_codes(root)
+
+    def test_reraise_is_exempt(self, tmp_path):
+        root = seed(
+            tmp_path,
+            {
+                "src/pkg/service/proxy.py": """
+                    def forward(sock):
+                        try:
+                            return sock.recv(1)
+                        except ConnectionResetError:
+                            raise RuntimeError("replica gone")
+                """
+            },
+        )
+        assert lint_codes(root) == set()
+
+    def test_record_call_is_exempt(self, tmp_path):
+        root = seed(
+            tmp_path,
+            {
+                "src/pkg/service/proxy.py": """
+                    def forward(replica, sock):
+                        try:
+                            return sock.recv(1)
+                        except OSError as exc:
+                            replica.record_failure(str(exc))
+                            return None
+                """
+            },
+        )
+        assert lint_codes(root) == set()
+
+    def test_counter_call_is_exempt(self, tmp_path):
+        root = seed(
+            tmp_path,
+            {
+                "src/pkg/service/proxy.py": """
+                    def forward(registry, sock):
+                        try:
+                            return sock.recv(1)
+                        except ConnectionRefusedError:
+                            registry.inc("balance.upstream_errors")
+                            return None
+                """
+            },
+        )
+        assert lint_codes(root) == set()
+
+    def test_timeout_and_non_network_errors_ignored(self, tmp_path):
+        root = seed(
+            tmp_path,
+            {
+                "src/pkg/service/proxy.py": """
+                    def forward(sock):
+                        try:
+                            return sock.recv(1)
+                        except TimeoutError:
+                            pass
+
+                    def parse(raw):
+                        try:
+                            return int(raw)
+                        except ValueError:
+                            return None
+                """
+            },
+        )
+        assert lint_codes(root) == set()
+
+    def test_same_swallow_outside_service_package_ignored(self, tmp_path):
+        root = seed(
+            tmp_path,
+            {
+                "src/pkg/engine.py": """
+                    def forward(sock):
+                        try:
+                            return sock.recv(1)
+                        except ConnectionError:
+                            pass
+                """
+            },
+        )
+        assert lint_codes(root) == set()
+
+
 # -- fault-site analyzer (A030-A032) ------------------------------------------
 
 
@@ -673,12 +791,13 @@ class TestFindingMechanics:
     def test_every_analyzer_code_is_catalogued(self):
         assert set(ANALYSIS_CODES) == {
             "A010", "A011", "A012", "A013",
-            "A020", "A021", "A022",
+            "A020", "A021", "A022", "A023",
             "A030", "A031", "A032",
             "A040", "A041", "A042", "A043",
         }
         assert set(ANALYZERS) == {
-            "knob-registry", "concurrency", "fault-sites", "error-codes",
+            "knob-registry", "concurrency", "service-errors",
+            "fault-sites", "error-codes",
         }
 
     def test_baseline_round_trip(self, tmp_path):

@@ -471,7 +471,7 @@ class TestCacheHardening:
         cache.store("sim_stats", ("k2",), 2)
         assert cache.stats.store_errors == 1  # no further doomed writes
         assert cache.load("sim_stats", ("k",)) is None
-        assert "result cache disabled" in capsys.readouterr().err
+        assert "result-cache shard 0" in capsys.readouterr().err
         cache.reset_runtime_disable()
         assert cache.cache_enabled()
 

@@ -267,6 +267,26 @@ def test_drain_rejects_new_work_with_503():
             assert excinfo.value.status == 503
 
 
+def test_readyz_is_distinct_from_healthz():
+    """Liveness vs readiness: a draining replica still answers
+    ``/healthz`` 200 (the process is alive) but ``/readyz`` flips to 503
+    so a balancer stops routing to it."""
+    with service() as (server, scheduler, pool):
+        with ServiceClient(port=server.port, max_retries=0) as client:
+            response = client._request_once("GET", "/readyz", None)
+            assert response.status == 200
+            assert response.payload["ready"] is True
+            assert response.payload["max_queue"] == scheduler.max_queue
+
+            assert scheduler.drain(timeout=10)
+            # _request_once, not request(): the retrying path treats 503
+            # as transient, and a draining replica never becomes ready.
+            response = client._request_once("GET", "/readyz", None)
+            assert response.status == 503
+            assert response.payload["ready"] is False
+            assert client.health()["status"] == "draining"
+
+
 # -- chaos: the robustness stack composes with the service --------------------
 
 
