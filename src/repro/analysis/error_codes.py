@@ -36,11 +36,11 @@ CODE_RE = re.compile(r"^[A-Z]\d{3}$")
 #: Doc tokens considered code references (restricted to the prefixes
 #: the repository actually allocates, to avoid flagging e.g. ruff rule
 #: ids quoted in the docs).
-DOC_TOKEN_RE = re.compile(r"\b[PCTKSA]\d{3}\b")
+DOC_TOKEN_RE = re.compile(r"\b[PCTKSAD]\d{3}\b")
 
 #: The end of a reservation range like ``A001–A009`` names a boundary,
 #: not a defined code; such tokens are not stale references.
-RANGE_END_RE = re.compile(r"[PCTKSA]\d{3}`?\s*[-–—]\s*`?([PCTKSA]\d{3})")
+RANGE_END_RE = re.compile(r"[PCTKSAD]\d{3}`?\s*[-–—]\s*`?([PCTKSAD]\d{3})")
 
 
 @dataclass(frozen=True, slots=True)

@@ -9,6 +9,8 @@ than string-matching messages.  Codes are grouped by layer:
 * ``Txxx`` — dynamic-trace legality,
 * ``Kxxx`` — fetch-packet (scheme capability) rules,
 * ``Sxxx`` — cycle-level pipeline sanitizer invariants,
+* ``Dxxx`` — declarative study/experiment-design validation
+  (:mod:`repro.study.spec`),
 * ``Axxx`` — matrix-level resolution problems (unknown names).  This
   module owns A001–A009; A010 and up are the ``repro lint`` codebase
   analyzers (:mod:`repro.analysis.findings`), sharing the namespace.
@@ -67,6 +69,14 @@ CODES: dict[str, str] = {
     "S005": "ROB sequence numbers are not strictly increasing",
     "S006": "ROB occupancy exceeds its capacity",
     "S007": "simulation finished with undrained machine state",
+    # -- declarative study design (Dxxx) --
+    "D001": "unknown study toggle parameter",
+    "D002": "toggle value illegal for its parameter",
+    "D003": "duplicate or empty toggle declaration",
+    "D004": "pairwise interaction names an unknown toggle",
+    "D005": "study scenario field out of range",
+    "D006": "toggle override yields an illegal machine configuration",
+    "D007": "study expansion exceeds the run budget",
     # -- matrix resolution (Axxx) --
     "A001": "unknown fetch scheme",
     "A002": "unknown machine model",

@@ -12,6 +12,11 @@ Commands:
 * ``characterize [BENCH ...]`` — workload characterisation table.
 * ``experiment NAME [NAME ...]`` — regenerate paper tables/figures.
 * ``ablation NAME [NAME ...]`` — run the beyond-paper ablation studies.
+* ``ablate run|list|report`` — the declarative study engine
+  (:mod:`repro.study`): expand a named preset or JSON :class:`StudySpec`
+  into baseline/one-factor-off/pairwise runs, execute them under the
+  supervised sweep engine (``--resume`` replays the journal), and emit
+  importance/interaction/Pareto reports.
 * ``sweep`` — batch-simulate a grid of configurations (``--jobs N``)
   under the supervised engine: ``--timeout``/``--retries`` set the
   recovery policy, ``--journal DIR`` records completions and
@@ -183,7 +188,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     import time
 
     from repro.experiments.common import telemetry_sim_stats
-    from repro.metrics.chart import BarGroup, bar_chart
+    from repro.metrics.chart import BarGroup, bar_chart, tornado_chart
     from repro.metrics.summary import format_table
     from repro.sim import cache as result_cache
     from repro.telemetry import (
@@ -291,17 +296,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                     if cause != "delivered"
                 }
                 explained = 100 * sum(contributions.values()) / gap
-                parts = ", ".join(
-                    f"{cause} {100 * delta / gap:+.1f}%"
-                    for cause, delta in sorted(
-                        contributions.items(), key=lambda item: -item[1]
-                    )
-                    if abs(delta) > 1e-9
-                )
                 print(
                     f"  {scheme}: {gap:.3f} slots/cycle "
-                    f"({explained:.1f}% explained: {parts})"
+                    f"({explained:.1f}% explained)"
                 )
+                entries = [
+                    (cause, 100 * delta / gap)
+                    for cause, delta in contributions.items()
+                    if abs(delta) > 1e-9
+                ]
+                if entries:
+                    chart = tornado_chart(entries, width=32, unit="%")
+                    print("    " + chart.replace("\n", "\n    "))
 
         chart_series = ["delivered"] + losses
         groups = [
@@ -386,6 +392,127 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         print(result.to_json() if args.json else result.as_text())
         if not args.json:
             print("=" * 72)
+    return 0
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    """Declarative study engine: ``ablate run|list|report``."""
+    import json
+    from pathlib import Path
+
+    from repro import knobs
+    from repro.check.errors import CheckFailure
+    from repro.study import analysis as study_analysis
+    from repro.study.engine import REPORT_JSON, run_study
+    from repro.study.presets import PRESETS
+    from repro.study.spec import spec_from_json
+
+    if args.action == "list":
+        print("study presets:")
+        for preset in PRESETS.values():
+            ported = (
+                f"  [ports ablation {preset.ablation!r}]"
+                if preset.ablation
+                else ""
+            )
+            print(f"  {preset.name:16s} {preset.description}{ported}")
+        print(
+            "\nrun one with 'repro ablate run NAME' "
+            "(or pass a JSON StudySpec path)"
+        )
+        return 0
+
+    if args.action == "report":
+        path = Path(args.dir) / REPORT_JSON
+        if not path.exists():
+            print(f"no study report at {path}", file=sys.stderr)
+            return 2
+        report = json.loads(path.read_text())
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(study_analysis.render_markdown(report))
+        return 0
+
+    # action == "run"
+    if args.spec in PRESETS:
+        spec = PRESETS[args.spec].build(_config_for(args))
+    else:
+        path = Path(args.spec)
+        if not path.exists():
+            known = ", ".join(PRESETS)
+            print(
+                f"unknown study {args.spec!r}; known presets: {known} "
+                "(or pass a JSON StudySpec path)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            spec = spec_from_json(path.read_text())
+        except CheckFailure as exc:
+            for error in exc.errors:
+                print(error, file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"bad study spec {path}: {exc}", file=sys.stderr)
+            return 1
+
+    out_dir = Path(args.out) if args.out else (
+        Path(knobs.raw("REPRO_STUDY_DIR")) / spec.name
+    )
+    from repro.sim.batch import BatchError, SupervisorConfig
+
+    config = SupervisorConfig(
+        timeout=args.timeout, max_attempts=max(1, args.retries + 1)
+    )
+    try:
+        outcome = run_study(
+            spec,
+            out_dir,
+            processes=args.jobs,
+            config=config,
+            resume=args.resume,
+        )
+    except CheckFailure as exc:
+        for error in exc.errors:
+            print(error, file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print(
+            f"\nstudy interrupted — completed jobs are journalled in "
+            f"{out_dir}; resume with the same command plus '--resume'",
+            file=sys.stderr,
+        )
+        return 130
+    except BatchError as exc:
+        print(f"study failed: {exc}", file=sys.stderr)
+        return 1
+
+    report = outcome.report
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    counts = outcome.manifest["outcomes"]
+    print(
+        f"study {spec.name} (spec {spec.digest}): "
+        f"{len(outcome.expansion.runs)} unique runs, "
+        f"{outcome.manifest['jobs']} jobs"
+    )
+    summary = ", ".join(
+        f"{counts[status]} {status}"
+        for status in ("ok", "retried", "timeout", "crashed", "skipped")
+        if counts.get(status)
+    )
+    print(f"job outcomes: {summary or 'none'}")
+    print()
+    print(study_analysis.render_tornado(report).rstrip("\n"))
+    frontier = report["pareto"]["frontier"]
+    if frontier:
+        print(f"\nEIR-vs-cost Pareto frontier: {len(frontier)} point(s)")
+    print(
+        f"\nwrote {outcome.directory}/report.{{json,md,csv}}, "
+        "tornado.txt and manifest.json"
+    )
     return 0
 
 
@@ -880,6 +1007,70 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--json", action="store_true")
     ablation.add_argument("--scale", type=float, default=1.0)
     ablation.set_defaults(func=_cmd_ablation)
+
+    ablate = sub.add_parser(
+        "ablate",
+        help="declarative ablation studies (expand/execute/analyse)",
+    )
+    ablate_sub = ablate.add_subparsers(dest="action", required=True)
+    ablate_list = ablate_sub.add_parser(
+        "list", help="list the named study presets"
+    )
+    ablate_list.set_defaults(func=_cmd_ablate)
+    ablate_run = ablate_sub.add_parser(
+        "run", help="expand and execute a study, writing its reports"
+    )
+    ablate_run.add_argument(
+        "spec", help="preset name or path to a JSON StudySpec"
+    )
+    ablate_run.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="output directory (default: $REPRO_STUDY_DIR/<study-name>)",
+    )
+    ablate_run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "serve jobs already journalled in the output directory "
+            "(bit-identical results) and journal new completions there"
+        ),
+    )
+    ablate_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: CPU count; 1 = serial)",
+    )
+    ablate_run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock timeout (default: none)",
+    )
+    ablate_run.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per job after a crash/timeout (default: 2)",
+    )
+    ablate_run.add_argument("--scale", type=float, default=1.0)
+    ablate_run.add_argument(
+        "--json",
+        action="store_true",
+        help="print report.json to stdout instead of the summary",
+    )
+    ablate_run.set_defaults(func=_cmd_ablate)
+    ablate_report = ablate_sub.add_parser(
+        "report", help="re-render a finished study from its report.json"
+    )
+    ablate_report.add_argument("dir", help="study output directory")
+    ablate_report.add_argument("--json", action="store_true")
+    ablate_report.set_defaults(func=_cmd_ablate)
 
     sweep = sub.add_parser(
         "sweep", help="batch-simulate a benchmark x machine x scheme grid"

@@ -248,6 +248,30 @@ KNOBS: tuple[KnobSpec, ...] = (
         description="seconds the balancer allows one forwarded attempt",
     ),
     KnobSpec(
+        name="REPRO_STUDY_DIR",
+        type="str",
+        default="studies",
+        cache_policy="exempt",
+        reason=(
+            "default output root for study artifacts (journal, manifest, "
+            "reports); selects where results land, never what a run "
+            "computes"
+        ),
+        description="default output directory root for `repro ablate run`",
+    ),
+    KnobSpec(
+        name="REPRO_STUDY_MAX_RUNS",
+        type="int",
+        default="512",
+        cache_policy="exempt",
+        reason=(
+            "bounds how many unique runs a study spec may expand to; an "
+            "over-budget study fails loudly (D007) before computing "
+            "anything, so no cached value can depend on it"
+        ),
+        description="maximum unique runs one study expansion may produce",
+    ),
+    KnobSpec(
         name="REPRO_TRACE_DIR",
         type="str",
         default="",

@@ -72,6 +72,107 @@ def bar_chart(
     return "\n".join(lines).rstrip()
 
 
+def tornado_chart(
+    entries: Sequence[tuple[str, float]],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+    sort: bool = True,
+) -> str:
+    """Render signed horizontal bars around a centre axis.
+
+    The classic sensitivity-analysis "tornado": one labelled signed
+    value per row, bars extending left (negative) or right (positive)
+    of a shared axis, sorted by magnitude so the most influential
+    entries sit on top (disable with ``sort=False`` to keep caller
+    order).
+
+    Args:
+        entries: ``(label, value)`` rows.
+        width: Total character width of the bar field (split in half
+            around the axis).
+        unit: Suffix printed after each value (e.g. ``" EIR"``).
+    """
+    rows = list(entries)
+    if not rows:
+        raise ValueError("no entries to chart")
+    if sort:
+        rows.sort(key=lambda row: (-abs(row[1]), row[0]))
+    peak = max(abs(value) for _, value in rows)
+    half = max(1, width // 2)
+    label_width = max(len(label) for label, _ in rows)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    for label, value in rows:
+        cells = 0.0 if peak == 0 else abs(value) / peak * half
+        body = BAR * int(cells)
+        if cells - int(cells) >= 0.5:
+            body += HALF
+        if value < 0:
+            left, right = body.rjust(half), " " * half
+        else:
+            left, right = " " * half, body.ljust(half)
+        lines.append(
+            f"{label.rjust(label_width)} {left}│{right} "
+            f"{value:+.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def scatter_chart(
+    points: Sequence[tuple[float, float, str]],
+    width: int = 56,
+    height: int = 14,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    mark: frozenset | set = frozenset(),
+) -> str:
+    """Render an ASCII scatter plot of ``(x, y, label)`` points.
+
+    Point indices in *mark* render as ``●`` (e.g. a Pareto frontier),
+    the rest as ``·``; when several points share a cell, a marked one
+    wins.  Axis extremes are printed on the frame.
+    """
+    if not points:
+        raise ValueError("no points to chart")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (x, y, _label) in enumerate(points):
+        column = min(width - 1, int((x - x_min) / x_span * (width - 1)))
+        row = min(height - 1, int((y - y_min) / y_span * (height - 1)))
+        row = height - 1 - row  # screen coordinates: y grows downward
+        glyph = "●" if index in mark else "·"
+        if grid[row][column] != "●":
+            grid[row][column] = glyph
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    if ylabel:
+        lines.append(ylabel)
+    lines.append(f"{y_max:>10.3f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "│" + "".join(row))
+    if height > 1:
+        lines.append(f"{y_min:>10.3f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 11 + "└" + "─" * width)
+    left = f"{x_min:.2f}"
+    right = f"{x_max:.2f}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * 12 + left + " " * pad + right)
+    if xlabel:
+        lines.append(" " * 12 + xlabel)
+    return "\n".join(lines)
+
+
 def result_chart(
     result,
     label: str | None = None,

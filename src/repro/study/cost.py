@@ -1,0 +1,82 @@
+"""Modeled hardware cost of a study scenario.
+
+The Pareto analysis needs a *comparable* cost axis, not a layout-exact
+one: a deterministic, documented function of the scenario that orders
+design points the way a first-order area estimate would.  Costs are in
+abstract "area units" roughly calibrated so one kilobyte of SRAM is one
+unit; the constants are commented where they come from.
+
+The function is intentionally simple and total — every legal scenario
+has a finite cost — with one exception: the ``perfect`` fetch scheme is
+an oracle, not hardware, so the analysis layer excludes it from
+frontiers (its "cost" here is 0 and would otherwise dominate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.machines.presets import get_machine
+
+#: Fetch-engine adder per scheme: datapath complexity beyond a plain
+#: single-ported cache (alignment network, banking, fill logic).
+SCHEME_COST = {
+    "sequential": 0.0,
+    # Dual-bank fetch + next-block prefetch port.
+    "interleaved_sequential": 1.0,
+    # Predicted-target banking: per-bank decoders + two-block routing.
+    "banked_sequential": 2.0,
+    # Per-slot banking plus the full crossbar collapsing network
+    # (paper Section 4.2's expensive implementation).
+    "collapsing_buffer": 6.0,
+    # Fill unit, tag array and sequence storage on top of the I-cache.
+    "trace_cache": 10.0,
+    # Oracle: excluded from frontiers by the analysis layer.
+    "perfect": 0.0,
+}
+
+#: When the collapsing buffer runs at fetch penalty >= 3 it models the
+#: paper's *shifter* implementation — log-depth shifters instead of the
+#: crossbar — which is the cheap variant (Figure 11's entire trade).
+SHIFTER_REBATE = 2.5
+
+#: Direction-predictor adder beyond the always-present 2-bit BTB.
+PREDICTOR_COST = {
+    "btb-2bit": 0.0,
+    "btb+ras": 0.5,      # return-address stack: a few entries + pointer
+    "2level": 2.0,       # per-branch history table + PHT
+    "2level+ras": 2.5,
+    "gshare": 1.5,       # global history register + shared PHT
+    "gshare+ras": 2.0,
+}
+
+
+def hardware_cost(scenario: dict) -> float:
+    """Area units of one resolved scenario (see module docstring).
+
+    *scenario* is the canonical dict
+    :func:`repro.study.spec.resolve_scenario` builds.
+    """
+    machine = get_machine(scenario["machine"])
+    if scenario["fields"]:
+        machine = dataclasses.replace(machine, **scenario["fields"])
+
+    cost = machine.icache_bytes / 1024.0           # 1 unit per KB of SRAM
+    cost += 8.0 * machine.btb_entries / 1024.0     # ~8B/entry tag+target
+    cost += 0.25 * machine.window_size             # reservation stations
+    cost += 0.05 * machine.rob_size                # ROB entries
+    cost += 0.5 * machine.speculation_depth        # shadow map per branch
+    cost += 0.1 * machine.issue_rate * machine.fetch_queue_groups
+    if machine.memory_ordering == "none":
+        cost += 1.0      # implicit perfect disambiguation hardware
+    if not machine.recovery_at_retire:
+        cost += 1.0      # resolution-time redirect needs checkpoint state
+
+    scheme = scenario["scheme"]
+    cost += SCHEME_COST[scheme]
+    if scheme == "collapsing_buffer" and machine.fetch_penalty >= 3:
+        cost -= SHIFTER_REBATE
+    cost += PREDICTOR_COST[scenario["predictor"]]
+    if scenario["num_banks"]:
+        cost += 0.3 * scenario["num_banks"]        # per-bank decode/route
+    return round(cost, 3)
